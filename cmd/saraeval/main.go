@@ -1,0 +1,94 @@
+// Command saraeval regenerates the paper's evaluation tables and figures
+// (§IV): Fig 9a/9b (scalability and tradeoff space), Fig 10 (optimization
+// effectiveness), Fig 11 (traversal vs solver partitioning), and Tables IV,
+// V, and VI.
+//
+// Usage:
+//
+//	saraeval -exp all
+//	saraeval -exp fig9a
+//	saraeval -exp table6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sara/internal/arch"
+	"sara/internal/eval"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig9a, fig9b, fig10, fig11, table4, table5, table6, all")
+	csvDir := flag.String("csv", "", "also write machine-readable CSVs into this directory")
+	flag.Parse()
+
+	spec := arch.SARA20x20()
+	run := func(name string, f func() (string, error)) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		txt, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(txt)
+	}
+
+	run("table4", func() (string, error) {
+		_, txt := eval.Table4()
+		return txt, nil
+	})
+	run("fig9a", func() (string, error) {
+		data, txt, err := eval.Fig9a([]string{"mlp", "rf"}, nil, spec)
+		if err == nil && *csvDir != "" {
+			err = eval.Fig9aCSV(*csvDir, data)
+		}
+		return txt, err
+	})
+	run("fig9b", func() (string, error) {
+		pts, txt, err := eval.Fig9b([]string{"mlp", "lstm"}, nil, spec)
+		if err == nil && *csvDir != "" {
+			err = eval.Fig9bCSV(*csvDir, pts)
+		}
+		return txt, err
+	})
+	run("fig10", func() (string, error) {
+		effects, txt, err := eval.Fig10([]string{"mlp", "lstm", "kmeans", "bs"}, 64, spec)
+		if err != nil {
+			return "", err
+		}
+		if *csvDir != "" {
+			if err := eval.Fig10CSV(*csvDir, effects); err != nil {
+				return "", err
+			}
+		}
+		_, tk, err := eval.Fig10Tokens([]string{"lstm", "gda", "kmeans"}, 16, spec)
+		return txt + "\n" + tk, err
+	})
+	run("fig11", func() (string, error) {
+		// Larger graphs differentiate the traversal orders and make the
+		// exact solver's cost visible; expect ~half a minute.
+		rs, txt, err := eval.Fig11([]string{"bs", "mlp"}, 32, 4, spec)
+		if err == nil && *csvDir != "" {
+			err = eval.Fig11CSV(*csvDir, rs)
+		}
+		return txt, err
+	})
+	run("table5", func() (string, error) {
+		rows, _, txt, err := eval.Table5()
+		if err == nil && *csvDir != "" {
+			err = eval.Table5CSV(*csvDir, rows)
+		}
+		return txt, err
+	})
+	run("table6", func() (string, error) {
+		rows, _, txt, err := eval.Table6()
+		if err == nil && *csvDir != "" {
+			err = eval.Table6CSV(*csvDir, rows)
+		}
+		return txt, err
+	})
+}

@@ -1,0 +1,90 @@
+// Command sarasim compiles one benchmark and executes it on the cycle-level
+// simulator or the analytic engine, printing runtime, bottleneck, and
+// memory-system statistics.
+//
+// Usage:
+//
+//	sarasim -workload bs -par 64 [-engine cycle|analytic] [-chip 20x20|v1] [-scale 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sara/internal/arch"
+	"sara/internal/core"
+	"sara/internal/sim"
+	"sara/internal/workloads"
+)
+
+func main() {
+	var (
+		name   = flag.String("workload", "bs", "benchmark to run: "+strings.Join(workloads.Names(), ", "))
+		par    = flag.Int("par", 16, "total parallelization factor")
+		scale  = flag.Int("scale", 16, "problem-size divisor (cycle engine wants >= 16)")
+		chip   = flag.String("chip", "20x20", "target chip: 20x20 (HBM2) or v1 (DDR3)")
+		engine = flag.String("engine", "cycle", "execution engine: cycle or analytic")
+		top    = flag.Bool("top", false, "show the busiest units")
+	)
+	flag.Parse()
+
+	w, err := workloads.ByName(*name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cfg := core.DefaultConfig()
+	if *chip == "v1" {
+		cfg.Spec = arch.PlasticineV1()
+	}
+	prog := w.Build(workloads.Params{Par: *par, Scale: *scale})
+	c, err := core.Compile(prog, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "compile:", err)
+		os.Exit(1)
+	}
+
+	var r *sim.Result
+	switch *engine {
+	case "cycle":
+		r, err = sim.Cycle(c.Design(), 0)
+	case "analytic":
+		r, err = sim.Analytic(c.Design())
+	default:
+		fmt.Fprintf(os.Stderr, "unknown engine %q\n", *engine)
+		os.Exit(1)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simulate:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload   %s (par %d, scale %d) on %s [%s]\n", w.Name, *par, *scale, cfg.Spec.Name, r.Engine)
+	fmt.Printf("runtime    %d cycles = %.3f µs at %.1f GHz\n", r.Cycles, r.Seconds(cfg.Spec)*1e6, cfg.Spec.ClockGHz)
+	if r.BottleneckVU != "" {
+		fmt.Printf("bottleneck %s (II %.2f)\n", r.BottleneckVU, r.BottleneckII)
+	}
+	fmt.Printf("compute    %.1f%% busy across compute units\n", r.ComputeBusy*100)
+	if r.FiredTotal > 0 {
+		fmt.Printf("firings    %d total\n", r.FiredTotal)
+	}
+	if r.DRAM.TotalBytes > 0 {
+		fmt.Printf("dram       %d bytes in %d requests, %.1f B/cycle achieved (peak %.1f)\n",
+			r.DRAM.TotalBytes, r.DRAM.TotalReqs,
+			float64(r.DRAM.TotalBytes)/float64(r.Cycles), r.DRAM.PeakBytesPerCycle)
+	}
+	if len(r.Stalls) > 0 {
+		fmt.Printf("stalls     input-starved %d, output-blocked %d, token-wait %d (unit-cycles)\n",
+			r.Stalls["input-starved"], r.Stalls["output-blocked"], r.Stalls["token-wait"])
+	}
+	res := c.Resources()
+	fmt.Printf("resources  %d PUs (%d PCU / %d PMU / %d AG)\n", res.Total, res.PCU, res.PMU, res.AG)
+	if *top && len(r.TopUnits) > 0 {
+		fmt.Println("busiest units:")
+		for _, u := range r.TopUnits {
+			fmt.Printf("  %-28s fired %-8d busy %5.1f%%  stalls %d\n", u.Name, u.Fired, u.Busy*100, u.Stalls)
+		}
+	}
+}

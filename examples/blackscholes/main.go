@@ -1,0 +1,74 @@
+// Streaming example: Black-Scholes option pricing — a deep transcendental
+// pipeline that the compute partitioner splits across PCUs. The example
+// explores the performance/resource tradeoff of the optimization suite
+// (paper Fig 9b/10): each configuration is one point of the design space.
+//
+//	go run ./examples/blackscholes
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sara"
+	"sara/plasticine"
+	"sara/spatial"
+)
+
+func buildBS(n, par int) *spatial.Program {
+	b := spatial.NewBuilder("blackscholes")
+	spots := b.DRAM("spots", n)
+	vols := b.DRAM("vols", n)
+	prices := b.DRAM("prices", n)
+	b.For("o", 0, n, 1, par, func(o spatial.Iter) {
+		b.Block("price", func(blk *spatial.Block) {
+			s := blk.Read(spots, spatial.Streaming())
+			v := blk.Read(vols, spatial.Streaming())
+			l := blk.Op(spatial.OpLog, blk.Op(spatial.OpDiv, s, spatial.External))
+			vv := blk.Op(spatial.OpMul, v, v)
+			num := blk.Op(spatial.OpAdd, l, vv)
+			den := blk.Op(spatial.OpMul, blk.Op(spatial.OpSqrt, spatial.External), v)
+			d1 := blk.Op(spatial.OpDiv, num, den)
+			d2 := blk.Op(spatial.OpSub, d1, den)
+			n1 := blk.OpChain(spatial.OpFMA, 5) // CDF polynomial
+			n2 := blk.OpChain(spatial.OpFMA, 5)
+			c1 := blk.Op(spatial.OpMul, n1, blk.Op(spatial.OpExp, d1))
+			c2 := blk.Op(spatial.OpMul, n2, blk.Op(spatial.OpExp, d2))
+			call := blk.Op(spatial.OpSub, c1, c2)
+			blk.WriteFrom(prices, spatial.Streaming(), call)
+		})
+	})
+	return b.MustBuild()
+}
+
+func main() {
+	chip := plasticine.SARA20x20()
+	configs := []struct {
+		name string
+		opts []sara.Option
+	}{
+		{"all optimizations", nil},
+		{"no optimizations", []sara.Option{sara.WithoutOptimizations()}},
+		{"no retime-m", []sara.Option{sara.WithOptimizationToggles(true, true, true, false, true)}},
+		{"no merging", []sara.Option{sara.WithoutMerging()}},
+		{"strict credits", []sara.Option{sara.WithoutCreditRelaxation()}},
+	}
+
+	fmt.Println("configuration       cycles    PUs   note")
+	for _, c := range configs {
+		opts := append([]sara.Option{sara.WithChip(chip), sara.WithoutPlacement()}, c.opts...)
+		design, err := sara.Compile(buildBS(1<<18, 64), opts...)
+		if err != nil {
+			log.Fatal(c.name, ": ", err)
+		}
+		rep, err := design.Simulate(sara.EngineAnalytic)
+		if err != nil {
+			log.Fatal(c.name, ": ", err)
+		}
+		note := ""
+		if rep.Bottleneck != "" {
+			note = "bottleneck: " + rep.Bottleneck
+		}
+		fmt.Printf("%-19s %-9d %-5d %s\n", c.name, rep.Cycles, rep.Resources.Total, note)
+	}
+}

@@ -1,0 +1,95 @@
+// Deep-learning example: a resident-weight multilayer perceptron whose
+// output-row loops spatially unroll. Sweeping the parallelization factor
+// reproduces the paper's headline scalability result (Fig 9a): near-linear
+// speedup until the chip's resources run out.
+//
+//	go run ./examples/deeplearning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sara"
+	"sara/plasticine"
+	"sara/spatial"
+)
+
+// buildMLP is a compact single-batch MLP: weights stay in scratchpads and
+// samples stream through the layer pipeline.
+func buildMLP(dims []int, samples, par int) *spatial.Program {
+	lanes := par
+	if lanes > 16 {
+		lanes = 16
+	}
+	outer := (par + lanes - 1) / lanes
+
+	b := spatial.NewBuilder("mlp")
+	in := b.DRAM("x", samples*dims[0])
+	wsrc := b.DRAM("wsrc", 1<<22)
+	var ws, acts []*spatial.Mem
+	for l := 0; l+1 < len(dims); l++ {
+		ws = append(ws, b.SRAM(fmt.Sprintf("w%d", l), dims[l]*dims[l+1]))
+	}
+	for l := range dims {
+		acts = append(acts, b.SRAM(fmt.Sprintf("a%d", l), dims[l]))
+	}
+	for l := 0; l+1 < len(dims); l++ {
+		l := l
+		b.For(fmt.Sprintf("wl%d", l), 0, dims[l]*dims[l+1], 1, lanes, func(i spatial.Iter) {
+			b.Block(fmt.Sprintf("wload%d", l), func(blk *spatial.Block) {
+				v := blk.Read(wsrc, spatial.Streaming())
+				blk.WriteFrom(ws[l], spatial.Affine(0, spatial.Term(i, 1)), v)
+			})
+		})
+	}
+	b.For("s", 0, samples, 1, 1, func(s spatial.Iter) {
+		b.For("ld", 0, dims[0], 1, lanes, func(i spatial.Iter) {
+			b.Block("xload", func(blk *spatial.Block) {
+				v := blk.Read(in, spatial.Streaming())
+				blk.WriteFrom(acts[0], spatial.Affine(0, spatial.Term(i, 1)), v)
+			})
+		})
+		for l := 0; l+1 < len(dims); l++ {
+			l := l
+			b.For(fmt.Sprintf("o%d", l), 0, dims[l+1], 1, outer, func(o spatial.Iter) {
+				b.For(fmt.Sprintf("i%d", l), 0, dims[l], 1, lanes, func(i spatial.Iter) {
+					b.Block(fmt.Sprintf("mac%d", l), func(blk *spatial.Block) {
+						xv := blk.Read(acts[l], spatial.Affine(0, spatial.Term(i, 1)))
+						wv := blk.Read(ws[l], spatial.Affine(0, spatial.Term(o, dims[l]), spatial.Term(i, 1)))
+						m := blk.Op(spatial.OpFMA, xv, wv, spatial.External)
+						blk.Accum(blk.Op(spatial.OpReduce, m))
+					})
+				})
+				b.Block(fmt.Sprintf("act%d", l), func(blk *spatial.Block) {
+					v := blk.Op(spatial.OpSigmoid, spatial.External)
+					blk.WriteFrom(acts[l+1], spatial.Affine(0, spatial.Term(o, 1)), v)
+				})
+			})
+		}
+	})
+	return b.MustBuild()
+}
+
+func main() {
+	chip := plasticine.SARA20x20()
+	dims := []int{256, 128, 64}
+	fmt.Println("par  speedup  cycles     PUs")
+	var base int64
+	for _, par := range []int{1, 4, 16, 64, 128} {
+		prog := buildMLP(dims, 64, par)
+		design, err := sara.Compile(prog, sara.WithChip(chip), sara.WithoutPlacement())
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := design.Simulate(sara.EngineAnalytic)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if base == 0 {
+			base = rep.Cycles
+		}
+		fmt.Printf("%-4d %-8.1f %-10d %d\n",
+			par, float64(base)/float64(rep.Cycles), rep.Cycles, rep.Resources.Total)
+	}
+}

@@ -1,0 +1,308 @@
+package consistency
+
+import (
+	"testing"
+
+	"sara/internal/ir"
+)
+
+// fig2a builds the paper's Fig 2a program skeleton:
+//
+//	A: for {
+//	  B: for { C: for {Wm3}  D: for {Rm3, Wm4'}  E: for {..} }
+//	  F: for { Wm4 }
+//	  G: for { Rm4 }
+//	}
+//
+// m3 is written by C and read by D (inside B); m4 is written by F and read by
+// G (both directly under A).
+func fig2a(t *testing.T) (p *ir.Program, m3, m4 *ir.Mem, wm3, rm3, wm4, rm4 *ir.Access) {
+	t.Helper()
+	p = ir.NewProgram("fig2a")
+	loop := func(name string, parent ir.CtrlID, trip int) *ir.Ctrl {
+		c := p.AddCtrl(ir.CtrlLoop, name, parent)
+		c.Min, c.Max, c.Step, c.Trip, c.Par = 0, trip, 1, trip, 1
+		return c
+	}
+	block := func(name string, parent ir.CtrlID) *ir.Ctrl {
+		return p.AddCtrl(ir.CtrlBlock, name, parent)
+	}
+	a := loop("A", 0, 4)
+	b := loop("B", a.ID, 3)
+	c := loop("C", b.ID, 8)
+	cb := block("Cblk", c.ID)
+	d := loop("D", b.ID, 8)
+	db := block("Dblk", d.ID)
+	f := loop("F", a.ID, 8)
+	fb := block("Fblk", f.ID)
+	g := loop("G", a.ID, 8)
+	gb := block("Gblk", g.ID)
+
+	m3 = p.AddMem(ir.MemSRAM, "m3", 8)
+	m4 = p.AddMem(ir.MemSRAM, "m4", 8)
+	aff := func(l *ir.Ctrl) ir.Pattern {
+		return ir.Pattern{Kind: ir.PatAffine, Coeffs: map[ir.CtrlID]int{l.ID: 1}}
+	}
+	wm3 = p.AddAccess(cb.ID, m3.ID, ir.Write, aff(c), "Wm3")
+	rm3 = p.AddAccess(db.ID, m3.ID, ir.Read, aff(d), "Rm3")
+	wm4 = p.AddAccess(fb.ID, m4.ID, ir.Write, aff(f), "Wm4")
+	rm4 = p.AddAccess(gb.ID, m4.ID, ir.Read, aff(g), "Rm4")
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return p, m3, m4, wm3, rm3, wm4, rm4
+}
+
+func memPlan(t *testing.T, plan *Plan, mem ir.MemID) MemPlan {
+	t.Helper()
+	for _, mp := range plan.Mems {
+		if mp.Mem == mem {
+			return mp
+		}
+	}
+	t.Fatalf("no plan for mem %d", mem)
+	return MemPlan{}
+}
+
+func TestFig2aSyncStructure(t *testing.T) {
+	p, m3, m4, wm3, rm3, wm4, rm4 := fig2a(t)
+	plan := Analyze(p, Options{})
+
+	mp3 := memPlan(t, plan, m3.ID)
+	if len(mp3.Forward) != 1 || mp3.Forward[0].Src != wm3.ID || mp3.Forward[0].Dst != rm3.ID {
+		t.Fatalf("m3 forward = %v, want single Wm3->Rm3", mp3.Forward)
+	}
+	if mp3.Forward[0].Kind != RAW {
+		t.Errorf("m3 forward kind = %s, want RAW", mp3.Forward[0].Kind)
+	}
+	if len(mp3.Backward) != 1 || mp3.Backward[0].Src != rm3.ID || mp3.Backward[0].Dst != wm3.ID {
+		t.Fatalf("m3 backward = %v, want single Rm3~>Wm3", mp3.Backward)
+	}
+	// W and R have identical spans per iteration of B, so the credit relaxes
+	// to double buffering.
+	if mp3.Backward[0].Init != 2 {
+		t.Errorf("m3 credit = %d, want 2 (double buffer)", mp3.Backward[0].Init)
+	}
+	// The LCD of m3 belongs to loop B (the innermost loop enclosing both).
+	if p.Ctrl(mp3.Backward[0].Loop).Name != "B" {
+		t.Errorf("m3 LCD loop = %s, want B", p.Ctrl(mp3.Backward[0].Loop).Name)
+	}
+
+	mp4 := memPlan(t, plan, m4.ID)
+	if len(mp4.Forward) != 1 || mp4.Forward[0].Src != wm4.ID || mp4.Forward[0].Dst != rm4.ID {
+		t.Fatalf("m4 forward = %v, want single Wm4->Rm4", mp4.Forward)
+	}
+	if p.Ctrl(mp4.Backward[0].Loop).Name != "A" {
+		t.Errorf("m4 LCD loop = %s, want A", p.Ctrl(mp4.Backward[0].Loop).Name)
+	}
+}
+
+func TestCreditRelaxationRequiresCoveredSpan(t *testing.T) {
+	p, m3, _, _, _, _, _ := fig2a(t)
+	// Make the reader's pattern random: no relaxation allowed.
+	p.Access(m3.Accessors[1]).Pat = ir.Pattern{Kind: ir.PatRandom}
+	plan := Analyze(p, Options{})
+	mp3 := memPlan(t, plan, m3.ID)
+	if mp3.Backward[0].Init != 1 {
+		t.Errorf("random reader credit = %d, want 1", mp3.Backward[0].Init)
+	}
+	if mp3.MultiBuffer != 1 {
+		t.Errorf("random reader multibuffer = %d, want 1", mp3.MultiBuffer)
+	}
+}
+
+func TestDisableCreditRelaxation(t *testing.T) {
+	p, m3, _, _, _, _, _ := fig2a(t)
+	plan := Analyze(p, Options{DisableCreditRelaxation: true})
+	mp3 := memPlan(t, plan, m3.ID)
+	if mp3.Backward[0].Init != 1 {
+		t.Errorf("credit = %d, want 1 when relaxation disabled", mp3.Backward[0].Init)
+	}
+}
+
+// chain3 builds one loop with three sequential accessor blocks W1, W2, W3 on
+// the same memory to exercise transitive reduction: W1->W3 must be subsumed
+// by W1->W2->W3.
+func TestTransitiveReductionDropsSubsumedForward(t *testing.T) {
+	p := ir.NewProgram("chain")
+	l := p.AddCtrl(ir.CtrlLoop, "L", 0)
+	l.Min, l.Max, l.Step, l.Trip = 0, 4, 1, 4
+	m := p.AddMem(ir.MemSRAM, "m", 8)
+	pat := ir.Pattern{Kind: ir.PatAffine, Coeffs: map[ir.CtrlID]int{l.ID: 1}}
+	var accs []*ir.Access
+	for _, n := range []string{"W1", "W2", "W3"} {
+		b := p.AddCtrl(ir.CtrlBlock, n+"blk", l.ID)
+		accs = append(accs, p.AddAccess(b.ID, m.ID, ir.Write, pat, n))
+	}
+	plan := Analyze(p, Options{})
+	mp := memPlan(t, plan, m.ID)
+	if len(mp.AllForward) != 3 {
+		t.Fatalf("constructed forward edges = %d, want 3", len(mp.AllForward))
+	}
+	if len(mp.Forward) != 2 {
+		t.Fatalf("reduced forward edges = %d, want 2 (W1->W2, W2->W3)", len(mp.Forward))
+	}
+	for _, e := range mp.Forward {
+		if e.Src == accs[0].ID && e.Dst == accs[2].ID {
+			t.Error("transitive edge W1->W3 survived reduction")
+		}
+	}
+	// Backward: constructed edges are W2~>W1, W3~>W1, W3~>W2 (all loop L,
+	// equal init). W2~>W1 is subsumed by W2->W3 (forward) + W3~>W1;
+	// W3~>W2 is subsumed by W3~>W1 + W1->W2 (forward); only the long-range
+	// W3~>W1 edge must survive.
+	if len(mp.Backward) != 1 {
+		t.Fatalf("reduced backward edges = %v, want single W3~>W1", mp.Backward)
+	}
+	if mp.Backward[0].Src != accs[2].ID || mp.Backward[0].Dst != accs[0].ID {
+		t.Errorf("surviving backward edge = %v, want W3~>W1", mp.Backward[0])
+	}
+}
+
+// TestBackwardSubsumption reproduces the paper's Fig 5d reduction: with
+// accessors W1, R1, W2, R2 in one loop (write-read write-read), the backward
+// edge R2~>R1 is pruned because of the path R2~>W1(back)->R1(fwd)... the
+// rule: an alternative path with exactly one same-loop same-init backward
+// edge.
+func TestBackwardSubsumption(t *testing.T) {
+	p := ir.NewProgram("fig5d")
+	l := p.AddCtrl(ir.CtrlLoop, "A", 0)
+	l.Min, l.Max, l.Step, l.Trip = 0, 4, 1, 4
+	m := p.AddMem(ir.MemSRAM, "m", 8)
+	pat := ir.Pattern{Kind: ir.PatAffine, Coeffs: map[ir.CtrlID]int{l.ID: 1}}
+	mk := func(name string, dir ir.Dir) *ir.Access {
+		b := p.AddCtrl(ir.CtrlBlock, name+"blk", l.ID)
+		return p.AddAccess(b.ID, m.ID, dir, pat, name)
+	}
+	w1 := mk("W1", ir.Write)
+	r1 := mk("R1", ir.Read)
+	w2 := mk("W2", ir.Write)
+	r2 := mk("R2", ir.Read)
+	plan := Analyze(p, Options{})
+	mp := memPlan(t, plan, m.ID)
+
+	// Forward after TR: the chain W1->R1->W2->R2 only.
+	if len(mp.Forward) != 3 {
+		t.Fatalf("forward = %v, want 3-edge chain", mp.Forward)
+	}
+	// Backward: all constructed edges share loop A and init; any backward
+	// edge X~>Y with an alternative (backward + forward chain) path is
+	// dropped. R2~>W1 cannot be dropped (paper: it is the essential back
+	// edge); check it survives.
+	foundR2W1 := false
+	for _, e := range mp.Backward {
+		if e.Src == r2.ID && e.Dst == w1.ID {
+			foundR2W1 = true
+		}
+		if e.Src == r2.ID && e.Dst == r1.ID {
+			t.Error("R2~>R1 should be subsumed (via R2~>W1 then W1->R1)")
+		}
+	}
+	// R2~>W1 must survive only if still needed; the paper keeps exactly the
+	// edges whose removal would relax ordering. With init equal across
+	// edges, R2~>W1 is subsumed if some path R2 ~>(one back) ... -> W1
+	// exists using retained edges; R2~>R1->? R1 has no forward edge to W1.
+	// Verify at least one backward edge into W1 survives so the writer is
+	// still back-pressured.
+	backIntoW1 := 0
+	for _, e := range mp.Backward {
+		if e.Dst == w1.ID {
+			backIntoW1++
+		}
+	}
+	if backIntoW1 == 0 {
+		t.Error("no surviving backward edge into W1: writer unthrottled")
+	}
+	_ = foundR2W1
+	_ = w2
+}
+
+func TestBranchClausesHaveNoForwardDep(t *testing.T) {
+	// Fig 4 / Fig 5a-b: W under the then-clause, R under the else-clause of a
+	// branch inside loop A: no forward edge, but LCDs on loop A.
+	p := ir.NewProgram("branch")
+	a := p.AddCtrl(ir.CtrlLoop, "A", 0)
+	a.Min, a.Max, a.Step, a.Trip = 0, 8, 1, 8
+	br := p.AddCtrl(ir.CtrlBranch, "even", a.ID)
+	cond := p.AddCtrl(ir.CtrlBlock, "cond", br.ID)
+	br.CondBlock = cond.ID
+	d := p.AddCtrl(ir.CtrlLoop, "D", br.ID)
+	d.Min, d.Max, d.Step, d.Trip = 0, 4, 1, 4
+	d.Clause = ir.ClauseThen
+	dblk := p.AddCtrl(ir.CtrlBlock, "Dblk", d.ID)
+	f := p.AddCtrl(ir.CtrlLoop, "F", br.ID)
+	f.Min, f.Max, f.Step, f.Trip = 0, 4, 1, 4
+	f.Clause = ir.ClauseElse
+	fblk := p.AddCtrl(ir.CtrlBlock, "Fblk", f.ID)
+
+	m := p.AddMem(ir.MemSRAM, "mem", 4)
+	pat := func(l *ir.Ctrl) ir.Pattern {
+		return ir.Pattern{Kind: ir.PatAffine, Coeffs: map[ir.CtrlID]int{l.ID: 1}}
+	}
+	p.AddAccess(dblk.ID, m.ID, ir.Write, pat(d), "W")
+	p.AddAccess(fblk.ID, m.ID, ir.Read, pat(f), "R")
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	plan := Analyze(p, Options{})
+	mp := memPlan(t, plan, m.ID)
+	if len(mp.AllForward) != 0 {
+		t.Errorf("clause-exclusive accesses should have no forward dep, got %v", mp.AllForward)
+	}
+	if len(mp.AllBackward) != 1 {
+		t.Fatalf("want 1 LCD between clause accesses, got %v", mp.AllBackward)
+	}
+	if p.Ctrl(mp.AllBackward[0].Loop).Name != "A" {
+		t.Errorf("LCD loop = %s, want A", p.Ctrl(mp.AllBackward[0].Loop).Name)
+	}
+}
+
+func TestDRAMSkipsRAR(t *testing.T) {
+	p := ir.NewProgram("dram")
+	l := p.AddCtrl(ir.CtrlLoop, "L", 0)
+	l.Min, l.Max, l.Step, l.Trip = 0, 4, 1, 4
+	d := p.AddMem(ir.MemDRAM, "x", 1024)
+	s := p.AddMem(ir.MemSRAM, "t", 64)
+	b1 := p.AddCtrl(ir.CtrlBlock, "b1", l.ID)
+	b2 := p.AddCtrl(ir.CtrlBlock, "b2", l.ID)
+	stream := ir.Pattern{Kind: ir.PatStreaming}
+	p.AddAccess(b1.ID, d.ID, ir.Read, stream, "Rd1")
+	p.AddAccess(b2.ID, d.ID, ir.Read, stream, "Rd2")
+	p.AddAccess(b1.ID, s.ID, ir.Read, stream, "Rs1")
+	p.AddAccess(b2.ID, s.ID, ir.Read, stream, "Rs2")
+	plan := Analyze(p, Options{})
+	if got := len(memPlan(t, plan, d.ID).AllForward); got != 0 {
+		t.Errorf("DRAM RAR edges = %d, want 0 (concurrent read streams allowed)", got)
+	}
+	if got := len(memPlan(t, plan, s.ID).AllForward); got != 1 {
+		t.Errorf("SRAM RAR edges = %d, want 1 (PMU serves one read stream)", got)
+	}
+}
+
+func TestDisableReductionKeepsAll(t *testing.T) {
+	p, _, _, _, _, _, _ := fig2a(t)
+	full := Analyze(p, Options{DisableReduction: true})
+	red := Analyze(p, Options{})
+	if full.TokenCount() < red.TokenCount() {
+		t.Errorf("unreduced tokens (%d) should be >= reduced (%d)", full.TokenCount(), red.TokenCount())
+	}
+	if full.TokenCount() != full.RawTokenCount() {
+		t.Errorf("with reduction disabled, TokenCount %d != RawTokenCount %d", full.TokenCount(), full.RawTokenCount())
+	}
+}
+
+func TestIntraBlockDepFlagged(t *testing.T) {
+	p := ir.NewProgram("intra")
+	l := p.AddCtrl(ir.CtrlLoop, "L", 0)
+	l.Min, l.Max, l.Step, l.Trip = 0, 4, 1, 4
+	b := p.AddCtrl(ir.CtrlBlock, "rmw", l.ID)
+	m := p.AddMem(ir.MemSRAM, "acc", 4)
+	pat := ir.Pattern{Kind: ir.PatAffine, Coeffs: map[ir.CtrlID]int{l.ID: 1}}
+	p.AddAccess(b.ID, m.ID, ir.Write, pat, "W")
+	p.AddAccess(b.ID, m.ID, ir.Read, pat, "R")
+	plan := Analyze(p, Options{})
+	mp := memPlan(t, plan, m.ID)
+	if len(mp.Forward) != 1 || !mp.Forward[0].IntraBlock {
+		t.Fatalf("want one intra-block forward dep, got %v", mp.Forward)
+	}
+}

@@ -1,0 +1,143 @@
+package consistency
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sara/internal/ir"
+)
+
+// randomAccessProgram builds a single loop with n accessor blocks of random
+// directions and patterns over one memory.
+func randomAccessProgram(rng *rand.Rand, n int) (*ir.Program, *ir.Mem) {
+	p := ir.NewProgram("q")
+	l := p.AddCtrl(ir.CtrlLoop, "L", 0)
+	l.Min, l.Max, l.Step, l.Trip = 0, 8, 1, 8
+	m := p.AddMem(ir.MemSRAM, "m", 64)
+	for i := 0; i < n; i++ {
+		b := p.AddCtrl(ir.CtrlBlock, "b", l.ID)
+		dir := ir.Read
+		if rng.Intn(2) == 0 {
+			dir = ir.Write
+		}
+		pat := ir.Pattern{Kind: ir.PatAffine, Coeffs: map[ir.CtrlID]int{l.ID: 1}}
+		if rng.Intn(4) == 0 {
+			pat = ir.Pattern{Kind: ir.PatRandom}
+		}
+		p.AddAccess(b.ID, m.ID, dir, pat, "a")
+	}
+	return p, m
+}
+
+// reach computes reachability over a dependence edge list.
+func reach(edges []Dep, n int) map[[2]ir.AccessID]bool {
+	adj := map[ir.AccessID][]ir.AccessID{}
+	for _, e := range edges {
+		adj[e.Src] = append(adj[e.Src], e.Dst)
+	}
+	out := map[[2]ir.AccessID]bool{}
+	for s := 0; s < n; s++ {
+		seen := map[ir.AccessID]bool{}
+		stack := []ir.AccessID{ir.AccessID(s)}
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, nx := range adj[cur] {
+				if !seen[nx] {
+					seen[nx] = true
+					out[[2]ir.AccessID{ir.AccessID(s), nx}] = true
+					stack = append(stack, nx)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TestQuickTransitiveReductionPreservesReachability: the reduced forward
+// graph must connect exactly the same accessor pairs as the constructed one —
+// transitive reduction may remove edges but never ordering (paper §III-A3b).
+func TestQuickTransitiveReductionPreservesReachability(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(nRaw%7)
+		p, m := randomAccessProgram(rng, n)
+		plan := Analyze(p, Options{})
+		var mp MemPlan
+		for _, cand := range plan.Mems {
+			if cand.Mem == m.ID {
+				mp = cand
+			}
+		}
+		before := reach(mp.AllForward, n)
+		after := reach(mp.Forward, n)
+		if len(before) != len(after) {
+			return false
+		}
+		for k := range before {
+			if !after[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickReductionNeverGrows: reduction only removes synchronization.
+func TestQuickReductionNeverGrows(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(nRaw%8)
+		p, _ := randomAccessProgram(rng, n)
+		full := Analyze(p, Options{DisableReduction: true})
+		red := Analyze(p, Options{})
+		return red.TokenCount() <= full.TokenCount()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickBackwardEdgesKeepWritersThrottled: after reduction, every writer
+// that precedes another accessor in the loop still has at least one backward
+// (credit) edge somewhere into its request side — otherwise the pipeline
+// could overwrite unconsumed data unboundedly.
+func TestQuickBackwardEdgesKeepWritersThrottled(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(nRaw%6)
+		p, m := randomAccessProgram(rng, n)
+		plan := Analyze(p, Options{})
+		var mp MemPlan
+		for _, cand := range plan.Mems {
+			if cand.Mem == m.ID {
+				mp = cand
+			}
+		}
+		if len(mp.AllBackward) == 0 {
+			return true
+		}
+		// Union reachability over forward + retained backward edges must
+		// still throttle: every node with an incoming constructed backward
+		// edge must be reachable from that edge's source through retained
+		// edges.
+		retained := append(append([]Dep{}, mp.Forward...), mp.Backward...)
+		r := reach(retained, n)
+		for _, b := range mp.AllBackward {
+			if b.Src == b.Dst {
+				continue
+			}
+			if !r[[2]ir.AccessID{b.Src, b.Dst}] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

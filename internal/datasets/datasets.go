@@ -1,0 +1,186 @@
+// Package datasets generates the synthetic inputs standing in for the
+// paper's datasets (DESIGN.md substitution table): a Delaunay-mesh-shaped
+// graph for PageRank (the paper evaluates GunRock on delaunay_n20), decision
+// forests for rf, option batches for bs, and time series for ms. RDA runtime
+// depends on the inputs' *shape statistics* — degree distributions, tree
+// depths, value ranges — which these generators match and expose, so the
+// workload models derive their expected trip counts from actual data rather
+// than constants.
+package datasets
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Graph is a CSR adjacency structure.
+type Graph struct {
+	N      int
+	RowPtr []int32
+	Nbrs   []int32
+}
+
+// Edges returns the directed edge count.
+func (g *Graph) Edges() int { return len(g.Nbrs) }
+
+// DegreeStats summarizes a graph's degree distribution.
+type DegreeStats struct {
+	Min, Max int
+	Mean     float64
+	StdDev   float64
+}
+
+// Degrees computes the distribution summary.
+func (g *Graph) Degrees() DegreeStats {
+	st := DegreeStats{Min: 1 << 30}
+	var sum, sumSq float64
+	for v := 0; v < g.N; v++ {
+		d := int(g.RowPtr[v+1] - g.RowPtr[v])
+		if d < st.Min {
+			st.Min = d
+		}
+		if d > st.Max {
+			st.Max = d
+		}
+		sum += float64(d)
+		sumSq += float64(d) * float64(d)
+	}
+	st.Mean = sum / float64(g.N)
+	st.StdDev = math.Sqrt(sumSq/float64(g.N) - st.Mean*st.Mean)
+	return st
+}
+
+// Validate checks CSR structural invariants.
+func (g *Graph) Validate() error {
+	if len(g.RowPtr) != g.N+1 {
+		return fmt.Errorf("datasets: rowptr length %d != N+1", len(g.RowPtr))
+	}
+	if g.RowPtr[0] != 0 || int(g.RowPtr[g.N]) != len(g.Nbrs) {
+		return fmt.Errorf("datasets: rowptr endpoints wrong")
+	}
+	for v := 0; v < g.N; v++ {
+		if g.RowPtr[v] > g.RowPtr[v+1] {
+			return fmt.Errorf("datasets: rowptr not monotone at %d", v)
+		}
+	}
+	for _, n := range g.Nbrs {
+		if n < 0 || int(n) >= g.N {
+			return fmt.Errorf("datasets: neighbour %d out of range", n)
+		}
+	}
+	return nil
+}
+
+// DelaunayMesh generates a planar-mesh-shaped graph with the degree
+// statistics of a Delaunay triangulation: mean degree just under 6 with a
+// narrow spread and hard bounds (triangulations of random points have
+// degrees concentrated in 4..8). Nodes sit on a jittered √N×√N grid; each
+// connects to its lattice neighbours plus one diagonal chosen by the jitter,
+// symmetrized.
+func DelaunayMesh(n int, seed int64) *Graph {
+	side := int(math.Sqrt(float64(n)))
+	if side < 2 {
+		side = 2
+	}
+	n = side * side
+	rng := rand.New(rand.NewSource(seed))
+	adj := make([]map[int32]bool, n)
+	for i := range adj {
+		adj[i] = map[int32]bool{}
+	}
+	add := func(a, b int) {
+		if a == b || a < 0 || b < 0 || a >= n || b >= n {
+			return
+		}
+		adj[a][int32(b)] = true
+		adj[b][int32(a)] = true
+	}
+	at := func(r, c int) int { return r*side + c }
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			v := at(r, c)
+			if c+1 < side {
+				add(v, at(r, c+1))
+			}
+			if r+1 < side {
+				add(v, at(r+1, c))
+			}
+			// One diagonal per cell, direction chosen by the jitter: this is
+			// what a triangulated quad mesh does.
+			if r+1 < side && c+1 < side {
+				if rng.Intn(2) == 0 {
+					add(v, at(r+1, c+1))
+				} else {
+					add(at(r, c+1), at(r+1, c))
+				}
+			}
+		}
+	}
+	g := &Graph{N: n, RowPtr: make([]int32, n+1)}
+	for v := 0; v < n; v++ {
+		g.RowPtr[v+1] = g.RowPtr[v] + int32(len(adj[v]))
+		for nb := range adj[v] {
+			g.Nbrs = append(g.Nbrs, nb)
+		}
+	}
+	return g
+}
+
+// Forest is a batch of complete binary decision trees in array layout.
+type Forest struct {
+	Trees, Depth, Features int
+	// FeatureIdx and Threshold are indexed [tree*(2^Depth) + node].
+	FeatureIdx []int32
+	Threshold  []float32
+}
+
+// Nodes returns the per-tree node count.
+func (f *Forest) Nodes() int { return 1 << f.Depth }
+
+// NewForest generates a random decision forest.
+func NewForest(trees, depth, features int, seed int64) *Forest {
+	rng := rand.New(rand.NewSource(seed))
+	n := trees * (1 << depth)
+	f := &Forest{Trees: trees, Depth: depth, Features: features,
+		FeatureIdx: make([]int32, n), Threshold: make([]float32, n)}
+	for i := range f.FeatureIdx {
+		f.FeatureIdx[i] = int32(rng.Intn(features))
+		f.Threshold[i] = float32(rng.NormFloat64())
+	}
+	return f
+}
+
+// Options is a batch of Black-Scholes pricing inputs.
+type Options struct {
+	Spot, Strike, Vol, Rate, Expiry []float32
+}
+
+// NewOptions generates n options with market-plausible ranges.
+func NewOptions(n int, seed int64) *Options {
+	rng := rand.New(rand.NewSource(seed))
+	o := &Options{
+		Spot: make([]float32, n), Strike: make([]float32, n), Vol: make([]float32, n),
+		Rate: make([]float32, n), Expiry: make([]float32, n),
+	}
+	for i := 0; i < n; i++ {
+		o.Spot[i] = 20 + rng.Float32()*180
+		o.Strike[i] = o.Spot[i] * (0.6 + rng.Float32()*0.8)
+		o.Vol[i] = 0.1 + rng.Float32()*0.5
+		o.Rate[i] = 0.001 + rng.Float32()*0.05
+		o.Expiry[i] = 0.05 + rng.Float32()*2
+	}
+	return o
+}
+
+// TimeSeries generates a mean-reverting random walk for the ms workload.
+func TimeSeries(n int, seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float32, n)
+	v := 0.0
+	for i := range out {
+		v = 0.98*v + rng.NormFloat64()
+		out[i] = float32(v)
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package datasets
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDelaunayMeshShape(t *testing.T) {
+	g := DelaunayMesh(1<<14, 7)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	st := g.Degrees()
+	// Delaunay triangulations: mean degree just under 6, tight spread.
+	if st.Mean < 4.5 || st.Mean > 6.0 {
+		t.Errorf("mean degree = %.2f, want ~5-6 (Delaunay-like)", st.Mean)
+	}
+	if st.Max > 10 {
+		t.Errorf("max degree = %d, want bounded like a planar mesh", st.Max)
+	}
+	if st.StdDev > 2.0 {
+		t.Errorf("degree stddev = %.2f, want a narrow distribution", st.StdDev)
+	}
+}
+
+func TestDelaunayMeshSymmetric(t *testing.T) {
+	g := DelaunayMesh(1024, 3)
+	// Every edge appears in both directions.
+	has := map[[2]int32]bool{}
+	for v := 0; v < g.N; v++ {
+		for i := g.RowPtr[v]; i < g.RowPtr[v+1]; i++ {
+			has[[2]int32{int32(v), g.Nbrs[i]}] = true
+		}
+	}
+	for e := range has {
+		if !has[[2]int32{e[1], e[0]}] {
+			t.Fatalf("edge %v has no reverse", e)
+		}
+	}
+}
+
+func TestDelaunayDeterministic(t *testing.T) {
+	a, b := DelaunayMesh(4096, 11), DelaunayMesh(4096, 11)
+	if a.Edges() != b.Edges() {
+		t.Fatalf("same seed produced different graphs: %d vs %d edges", a.Edges(), b.Edges())
+	}
+	c := DelaunayMesh(4096, 12)
+	if a.Edges() == c.Edges() {
+		// Different seeds usually flip diagonals; edge count may coincide,
+		// so compare contents.
+		same := true
+		for i := range a.Nbrs {
+			if a.Nbrs[i] != c.Nbrs[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestForestWellFormed(t *testing.T) {
+	f := NewForest(64, 8, 32, 5)
+	if got := len(f.FeatureIdx); got != 64*256 {
+		t.Fatalf("nodes = %d, want 16384", got)
+	}
+	for _, fi := range f.FeatureIdx {
+		if fi < 0 || int(fi) >= f.Features {
+			t.Fatalf("feature index %d out of range", fi)
+		}
+	}
+}
+
+func TestOptionsPlausible(t *testing.T) {
+	o := NewOptions(1000, 9)
+	for i := range o.Spot {
+		if o.Spot[i] <= 0 || o.Strike[i] <= 0 || o.Vol[i] <= 0 || o.Expiry[i] <= 0 {
+			t.Fatalf("option %d has non-positive parameter", i)
+		}
+	}
+}
+
+// TestQuickMeshAlwaysValid: any size and seed yields a structurally valid
+// CSR with bounded degrees.
+func TestQuickMeshAlwaysValid(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := 16 + int(nRaw%2048)
+		g := DelaunayMesh(n, seed)
+		if g.Validate() != nil {
+			return false
+		}
+		st := g.Degrees()
+		return st.Max <= 10 && st.Min >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeSeriesLength(t *testing.T) {
+	ts := TimeSeries(1<<12, 1)
+	if len(ts) != 1<<12 {
+		t.Fatalf("length = %d", len(ts))
+	}
+	var sum float64
+	for _, v := range ts {
+		sum += float64(v)
+	}
+	mean := sum / float64(len(ts))
+	if mean > 10 || mean < -10 {
+		t.Errorf("mean %.2f implausible for a mean-reverting walk", mean)
+	}
+}

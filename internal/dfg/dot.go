@@ -1,0 +1,60 @@
+package dfg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the live VUDFG in Graphviz format: compute units as boxes,
+// memories as cylinders, address generators as houses; token/credit streams
+// dashed with their initial credits, memory ports labelled on the edges.
+// Feed the output to `dot -Tsvg` to inspect a compiled design.
+func (g *Graph) DOT() string {
+	var sb strings.Builder
+	sb.WriteString("digraph vudfg {\n  rankdir=LR;\n  node [fontsize=10];\n")
+	for _, u := range g.VUs {
+		if u == nil {
+			continue
+		}
+		shape, color := "box", "lightblue"
+		switch u.Kind {
+		case VMU:
+			shape, color = "cylinder", "khaki"
+		case VAG:
+			shape, color = "house", "lightsalmon"
+		case VCURequest, VCUResponse:
+			shape, color = "box", "lightgrey"
+		case VCUMerge, VCUSync, VCURetime:
+			shape, color = "diamond", "white"
+		}
+		label := fmt.Sprintf("%s%s", u.Name, u.Instance)
+		if u.Ops > 0 {
+			label += fmt.Sprintf("\\nops=%d", u.Ops)
+		}
+		if u.Lanes > 1 {
+			label += fmt.Sprintf(" x%d", u.Lanes)
+		}
+		fmt.Fprintf(&sb, "  n%d [label=\"%s\" shape=%s style=filled fillcolor=%s];\n",
+			u.ID, label, shape, color)
+	}
+	for _, e := range g.Edges {
+		if e == nil {
+			continue
+		}
+		attrs := []string{}
+		if e.Kind == EToken {
+			attrs = append(attrs, "style=dashed", "color=red")
+			if e.Init > 0 {
+				attrs = append(attrs, fmt.Sprintf("label=\"credit=%d\"", e.Init))
+			}
+		} else if e.Port != "" {
+			attrs = append(attrs, fmt.Sprintf("label=\"%s\"", e.Port))
+		}
+		if e.LCD {
+			attrs = append(attrs, "constraint=false")
+		}
+		fmt.Fprintf(&sb, "  n%d -> n%d [%s];\n", e.Src, e.Dst, strings.Join(attrs, " "))
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

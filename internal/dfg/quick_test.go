@@ -1,0 +1,151 @@
+package dfg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sara/internal/ir"
+)
+
+// randomDAGGraph builds a random VUDFG DAG with some VMUs carrying ported
+// edges and a few seeded LCD back edges.
+func randomDAGGraph(rng *rand.Rand, n int) *Graph {
+	g := NewGraph(ir.NewProgram("q"))
+	for i := 0; i < n; i++ {
+		kind := VCUCompute
+		if rng.Intn(5) == 0 {
+			kind = VMU
+		}
+		g.AddVU(kind, "u")
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() > 0.25 {
+				continue
+			}
+			e := g.AddEdge(VUID(i), VUID(j), EData)
+			if g.VU(VUID(i)).Kind == VMU || g.VU(VUID(j)).Kind == VMU {
+				e.Port = string(rune('a' + rng.Intn(3)))
+			}
+		}
+	}
+	// A few LCD back edges (legal cycles).
+	for k := 0; k < n/4; k++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i <= j {
+			continue
+		}
+		e := g.AddEdge(VUID(i), VUID(j), EToken)
+		e.LCD = true
+		e.Init = 1
+	}
+	return g
+}
+
+// TestQuickTopoSortRespectsEdges: any returned order places non-VMU edge
+// sources before destinations (VMUs are port-relaxed, so they are exempt).
+func TestQuickTopoSortRespectsEdges(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + int(nRaw%12)
+		g := randomDAGGraph(rng, n)
+		order, err := g.TopoSort()
+		if err != nil {
+			return false // forward-only data edges: must be acyclic
+		}
+		pos := map[VUID]int{}
+		for i, id := range order {
+			pos[id] = i
+		}
+		for _, e := range g.LiveEdges() {
+			if e.LCD {
+				continue
+			}
+			if g.VU(e.Src).Kind == VMU || g.VU(e.Dst).Kind == VMU {
+				continue
+			}
+			if pos[e.Src] >= pos[e.Dst] {
+				return false
+			}
+		}
+		return len(order) == len(g.LiveVUs())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRemoveVUKeepsAdjacencyConsistent: after removing random units, no
+// live edge references a dead endpoint and adjacency matches the edge list.
+func TestQuickRemoveVUKeepsAdjacencyConsistent(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + int(nRaw%10)
+		g := randomDAGGraph(rng, n)
+		for k := 0; k < n/3; k++ {
+			g.RemoveVU(VUID(rng.Intn(n)))
+		}
+		live := map[VUID]bool{}
+		for _, u := range g.LiveVUs() {
+			live[u.ID] = true
+		}
+		count := 0
+		for _, e := range g.LiveEdges() {
+			if !live[e.Src] || !live[e.Dst] {
+				return false
+			}
+			count++
+		}
+		adjCount := 0
+		for _, u := range g.LiveVUs() {
+			adjCount += len(g.Out(u.ID))
+		}
+		return count == adjCount
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickReattachPreservesEdgeCount: rewiring random edges never changes
+// the live edge population and keeps adjacency consistent.
+func TestQuickReattachPreservesEdgeCount(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + int(nRaw%10)
+		g := randomDAGGraph(rng, n)
+		before := len(g.LiveEdges())
+		for k := 0; k < 6; k++ {
+			es := g.LiveEdges()
+			if len(es) == 0 {
+				break
+			}
+			e := es[rng.Intn(len(es))]
+			if rng.Intn(2) == 0 {
+				g.ReattachSrc(e.ID, VUID(rng.Intn(n)))
+			} else {
+				g.ReattachDst(e.ID, VUID(rng.Intn(n)))
+			}
+		}
+		if len(g.LiveEdges()) != before {
+			return false
+		}
+		for _, u := range g.LiveVUs() {
+			for _, eid := range g.Out(u.ID) {
+				if g.Edge(eid).Src != u.ID {
+					return false
+				}
+			}
+			for _, eid := range g.In(u.ID) {
+				if g.Edge(eid).Dst != u.ID {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,146 @@
+// Package dram models the off-chip memory system behind the RDA's DRAM
+// interfaces (the role Ramulator plays in the paper's methodology, §IV-a).
+//
+// RDA memory interfaces serve requests in a streaming, in-order fashion per
+// stream (paper §II-C), so the model is a set of independent channels, each a
+// FIFO server with a fixed bandwidth (bytes per accelerator cycle), a fixed
+// unloaded latency, and a burst granularity that penalizes small or unaligned
+// requests. Aggregate behaviour reproduces what the evaluation depends on:
+// a hard roofline at 1 TB/s (HBM2) or 49 GB/s (DDR3), per-channel queueing
+// when demand concentrates, and latency that grows once a channel saturates.
+package dram
+
+import (
+	"fmt"
+
+	"sara/internal/arch"
+)
+
+// Model is an off-chip memory system instance.
+type Model struct {
+	Spec arch.DRAMSpec
+	ch   []channel
+	// rrNext assigns streams to channels round-robin.
+	rrNext int
+	// stats
+	totalBytes  int64
+	totalReqs   int64
+	stallCycles int64
+}
+
+type channel struct {
+	// busyUntil is fractional: back-to-back streaming requests occupy the
+	// channel continuously instead of rounding each to whole cycles.
+	busyUntil float64
+	bytes     int64
+}
+
+// New returns a model for the given DRAM technology.
+func New(spec arch.DRAMSpec) *Model {
+	return &Model{Spec: spec, ch: make([]channel, spec.Channels)}
+}
+
+// BindStream assigns a request stream to a channel (round-robin), returning
+// the channel id the stream should use for all its requests.
+func (m *Model) BindStream() int {
+	c := m.rrNext % len(m.ch)
+	m.rrNext++
+	return c
+}
+
+// Request enqueues a transfer of the given size on a channel at cycle now and
+// returns the cycle its data is available (reads) or acknowledged (writes).
+// Requests on one channel are served in order; the channel occupancy is the
+// transfer time at peak bandwidth, rounded up to burst granularity.
+func (m *Model) Request(ch int, bytes int, now int64) int64 {
+	return m.request(ch, bytes, now, false)
+}
+
+// RequestCoalesced is Request for sequential streams: consecutive elements
+// share bursts, so no burst-granularity rounding applies.
+func (m *Model) RequestCoalesced(ch int, bytes int, now int64) int64 {
+	return m.request(ch, bytes, now, true)
+}
+
+func (m *Model) request(ch int, bytes int, now int64, coalesced bool) int64 {
+	if ch < 0 || ch >= len(m.ch) {
+		panic(fmt.Sprintf("dram: channel %d out of range", ch))
+	}
+	if bytes <= 0 {
+		bytes = 1
+	}
+	// Round to burst granularity: a 4-byte random access still moves a
+	// burst. Sequential streams coalesce and pay only their own bytes.
+	b := bytes
+	if !coalesced {
+		b = ((bytes + m.Spec.BurstBytes - 1) / m.Spec.BurstBytes) * m.Spec.BurstBytes
+	}
+	service := float64(b) / m.Spec.BytesPerCyclePerChannel
+	c := &m.ch[ch]
+	start := float64(now)
+	if c.busyUntil > start {
+		m.stallCycles += int64(c.busyUntil - start)
+		start = c.busyUntil
+	}
+	c.busyUntil = start + service
+	c.bytes += int64(b)
+	m.totalBytes += int64(b)
+	m.totalReqs++
+	done := int64(c.busyUntil+0.9999) + int64(m.Spec.LatencyCycles)
+	if done <= now {
+		done = now + 1
+	}
+	return done
+}
+
+// StreamRate returns the sustainable elements-per-cycle rate for a stream of
+// the given element size sharing a channel with nSharers streams (including
+// itself). The simulator uses it for steady-state throughput bounds.
+func (m *Model) StreamRate(elemBytes, nSharers int) float64 {
+	if nSharers < 1 {
+		nSharers = 1
+	}
+	return m.Spec.BytesPerCyclePerChannel / float64(elemBytes) / float64(nSharers)
+}
+
+// Channels returns the channel count.
+func (m *Model) Channels() int { return len(m.ch) }
+
+// Stats reports aggregate counters.
+type Stats struct {
+	TotalBytes  int64
+	TotalReqs   int64
+	StallCycles int64
+	// PeakBytesPerCycle is the model's roofline.
+	PeakBytesPerCycle float64
+}
+
+// Stats returns aggregate counters.
+func (m *Model) Stats() Stats {
+	return Stats{
+		TotalBytes:        m.totalBytes,
+		TotalReqs:         m.totalReqs,
+		StallCycles:       m.stallCycles,
+		PeakBytesPerCycle: m.Spec.TotalBytesPerCycle(),
+	}
+}
+
+// Reset clears channel state and counters.
+func (m *Model) Reset() {
+	for i := range m.ch {
+		m.ch[i] = channel{}
+	}
+	m.rrNext = 0
+	m.totalBytes = 0
+	m.totalReqs = 0
+	m.stallCycles = 0
+}
+
+// AchievedBytesPerCycle returns the realized bandwidth over an interval of
+// cycles.
+func (m *Model) AchievedBytesPerCycle(cycles int64) float64 {
+	if cycles <= 0 {
+		return 0
+	}
+	return float64(m.totalBytes) / float64(cycles)
+}

@@ -1,0 +1,78 @@
+package dram
+
+import (
+	"testing"
+
+	"sara/internal/arch"
+)
+
+func TestRequestLatencyUnloaded(t *testing.T) {
+	m := New(arch.SARA20x20().DRAM)
+	done := m.Request(0, 64, 0)
+	// 64B at 62.5 B/cycle ~ 2 cycles service + 120 latency.
+	if done < 120 || done > 125 {
+		t.Errorf("unloaded completion = %d, want ~122", done)
+	}
+}
+
+func TestChannelSerializes(t *testing.T) {
+	m := New(arch.SARA20x20().DRAM)
+	d1 := m.Request(0, 6400, 0) // ~103 cycles service
+	d2 := m.Request(0, 6400, 0)
+	if d2 <= d1 {
+		t.Errorf("second request (%d) must finish after first (%d)", d2, d1)
+	}
+	if m.Stats().StallCycles == 0 {
+		t.Error("expected queueing stalls on a busy channel")
+	}
+}
+
+func TestChannelsIndependent(t *testing.T) {
+	m := New(arch.SARA20x20().DRAM)
+	d1 := m.Request(0, 6400, 0)
+	d2 := m.Request(1, 6400, 0)
+	if d1 != d2 {
+		t.Errorf("independent channels should complete together: %d vs %d", d1, d2)
+	}
+}
+
+func TestBurstRounding(t *testing.T) {
+	m := New(arch.SARA20x20().DRAM)
+	m.Request(0, 4, 0) // one 4-byte element still moves a 64B burst
+	if got := m.Stats().TotalBytes; got != 64 {
+		t.Errorf("bytes moved = %d, want 64 (burst granularity)", got)
+	}
+}
+
+func TestRooflineMatchesSpec(t *testing.T) {
+	spec := arch.SARA20x20()
+	m := New(spec.DRAM)
+	if got := m.Stats().PeakBytesPerCycle; got != 1000 {
+		t.Errorf("HBM2 peak = %v B/cycle, want 1000 (1 TB/s at 1 GHz)", got)
+	}
+	if got := arch.PlasticineV1().DRAM.TotalBytesPerCycle(); got != 49 {
+		t.Errorf("DDR3 peak = %v B/cycle, want 49", got)
+	}
+}
+
+func TestBindStreamRoundRobin(t *testing.T) {
+	m := New(arch.PlasticineV1().DRAM) // 4 channels
+	seen := map[int]bool{}
+	for i := 0; i < 4; i++ {
+		seen[m.BindStream()] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("round-robin should cover all 4 channels, got %v", seen)
+	}
+	if m.BindStream() != 0 {
+		t.Error("round-robin should wrap")
+	}
+}
+
+func TestStreamRate(t *testing.T) {
+	m := New(arch.SARA20x20().DRAM)
+	// 62.5 B/cycle per channel over 4-byte elements, 2 sharers.
+	if got := m.StreamRate(4, 2); got != 62.5/4/2 {
+		t.Errorf("StreamRate = %v, want %v", got, 62.5/4/2)
+	}
+}

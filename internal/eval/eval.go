@@ -1,0 +1,110 @@
+// Package eval is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (§IV) from the compiler, simulator,
+// workload, and baseline packages. Each experiment returns structured rows
+// plus a fixed-width text rendering, so both the benchmark suite and the
+// saraeval CLI can drive it.
+package eval
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"sara/internal/arch"
+	"sara/internal/core"
+	"sara/internal/sim"
+	"sara/internal/workloads"
+)
+
+// fits reports whether a compiled design fits the chip.
+func fits(r core.Resources, spec *arch.Spec) bool {
+	return r.PCU <= spec.NumPCU && r.PMU <= spec.NumPMU && r.AG <= spec.NumAG
+}
+
+// compileFit compiles the workload at the requested factor, falling back to
+// smaller factors until the design fits the chip (the paper presents the
+// best configuration that fits, which produces the resource dips of Fig 9a).
+// It returns the compiled design, the factor actually used, and whether the
+// requested factor fit.
+func compileFit(w *workloads.Workload, par int, spec *arch.Spec, cfg core.Config) (*core.Compiled, int, bool, error) {
+	requested := par
+	for {
+		prog := w.Build(workloads.Params{Par: par, Scale: 1})
+		c, err := core.Compile(prog, cfg)
+		if err != nil {
+			return nil, 0, false, fmt.Errorf("%s par %d: %w", w.Name, par, err)
+		}
+		if fits(c.Resources(), spec) {
+			return c, par, par == requested, nil
+		}
+		if par == 1 {
+			return c, par, false, nil
+		}
+		par = nextLowerPar(par)
+	}
+}
+
+func nextLowerPar(par int) int {
+	switch {
+	case par > 256:
+		return 256
+	case par > 16:
+		return par / 2
+	case par > 1:
+		return par / 2
+	default:
+		return 1
+	}
+}
+
+// analytic runs the steady-state engine on a compiled design.
+func analytic(c *core.Compiled) (*sim.Result, error) {
+	return sim.Analytic(c.Design())
+}
+
+// geomean returns the geometric mean of positive values.
+func geomean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range vals {
+		s += math.Log(v)
+	}
+	return math.Exp(s / float64(len(vals)))
+}
+
+// table renders rows as a fixed-width text table.
+func table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return sb.String()
+}

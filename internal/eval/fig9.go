@@ -1,0 +1,221 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sara/internal/arch"
+	"sara/internal/core"
+	"sara/internal/opt"
+	"sara/internal/workloads"
+)
+
+// ScalePoint is one point of the Fig 9a scalability study.
+type ScalePoint struct {
+	Par int
+	// UsedPar is the factor that actually fit on the chip (smaller than Par
+	// when resources ran out — the paper's "less performant configuration"
+	// dips).
+	UsedPar int
+	Cycles  int64
+	// Speedup is normalized to the par=1 configuration.
+	Speedup float64
+	// PUs is the physical-unit count of the compiled design.
+	PUs int
+	// DRAMBound marks configurations whose analytic bottleneck is the
+	// memory roofline (rf saturates HBM at par 128 in the paper).
+	DRAMBound bool
+	Fit       bool
+}
+
+// Fig9a sweeps parallelization factors for the given workloads (the paper
+// uses mlp for the compute-bound trend and rf for the bandwidth-bound one).
+func Fig9a(names []string, pars []int, spec *arch.Spec) (map[string][]ScalePoint, string, error) {
+	if len(pars) == 0 {
+		pars = []int{1, 2, 4, 8, 16, 32, 64, 128, 192, 240, 256}
+	}
+	out := map[string][]ScalePoint{}
+	cfg := core.DefaultConfig()
+	cfg.Spec = spec
+	cfg.SkipPlace = true
+	for _, name := range names {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			return nil, "", err
+		}
+		var base int64
+		var pts []ScalePoint
+		for _, par := range pars {
+			c, used, fit, err := compileFit(w, par, spec, cfg)
+			if err != nil {
+				return nil, "", err
+			}
+			r, err := analytic(c)
+			if err != nil {
+				return nil, "", fmt.Errorf("%s par %d: %w", name, par, err)
+			}
+			if base == 0 {
+				base = r.Cycles
+			}
+			pts = append(pts, ScalePoint{
+				Par:       par,
+				UsedPar:   used,
+				Cycles:    r.Cycles,
+				Speedup:   float64(base) / float64(r.Cycles),
+				PUs:       c.Resources().Total,
+				DRAMBound: strings.Contains(r.BottleneckVU, "dram") || strings.Contains(r.BottleneckVU, "ag."),
+				Fit:       fit,
+			})
+		}
+		out[name] = pts
+	}
+	return out, renderFig9a(names, out), nil
+}
+
+func renderFig9a(names []string, data map[string][]ScalePoint) string {
+	var sb strings.Builder
+	sb.WriteString("Fig 9a — performance and resource scaling vs parallelization factor\n")
+	for _, name := range names {
+		fmt.Fprintf(&sb, "\n%s:\n", name)
+		var rows [][]string
+		for _, p := range data[name] {
+			note := ""
+			if !p.Fit {
+				note = fmt.Sprintf("fell back to par %d", p.UsedPar)
+			}
+			if p.DRAMBound {
+				if note != "" {
+					note += "; "
+				}
+				note += "DRAM-bound"
+			}
+			rows = append(rows, []string{
+				fmt.Sprintf("%d", p.Par),
+				fmt.Sprintf("%.2fx", p.Speedup),
+				fmt.Sprintf("%d", p.Cycles),
+				fmt.Sprintf("%d", p.PUs),
+				note,
+			})
+		}
+		sb.WriteString(table([]string{"par", "speedup", "cycles", "PUs", "notes"}, rows))
+	}
+	return sb.String()
+}
+
+// TradeoffPoint is one point of the Fig 9b performance/resource space.
+type TradeoffPoint struct {
+	Workload string
+	Par      int
+	OptSet   string
+	Cycles   int64
+	PUs      int
+	// Perf is normalized throughput (higher is better).
+	Perf float64
+	// Pareto marks frontier points (no other point is at least as fast with
+	// fewer PUs).
+	Pareto bool
+}
+
+// optSets are the optimization configurations of the tradeoff study.
+var optSets = []struct {
+	name string
+	opt  opt.Options
+}{
+	{"none", opt.Options{Retime: true}}, // retiming stays: unbuffered graphs just stall
+	{"msr+rtelm", opt.Options{MSR: true, RtElm: true, Retime: true}},
+	{"all-retimeM", opt.Options{MSR: true, RtElm: true, Retime: true, XbarElm: true}},
+	{"all", opt.All()},
+}
+
+// Fig9b explores the par × optimization design space and marks the Pareto
+// frontier.
+func Fig9b(names []string, pars []int, spec *arch.Spec) ([]TradeoffPoint, string, error) {
+	if len(pars) == 0 {
+		pars = []int{16, 32, 64, 128, 256}
+	}
+	var pts []TradeoffPoint
+	for _, name := range names {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			return nil, "", err
+		}
+		var base int64
+		for _, par := range pars {
+			for _, os := range optSets {
+				cfg := core.DefaultConfig()
+				cfg.Spec = spec
+				cfg.SkipPlace = true
+				cfg.Opt = os.opt
+				c, _, _, err := compileFit(w, par, spec, cfg)
+				if err != nil {
+					return nil, "", err
+				}
+				r, err := analytic(c)
+				if err != nil {
+					return nil, "", err
+				}
+				if base == 0 {
+					base = r.Cycles
+				}
+				pts = append(pts, TradeoffPoint{
+					Workload: name, Par: par, OptSet: os.name,
+					Cycles: r.Cycles, PUs: c.Resources().Total,
+					Perf: float64(base) / float64(r.Cycles),
+				})
+			}
+		}
+	}
+	markPareto(pts)
+	return pts, renderFig9b(pts), nil
+}
+
+// markPareto marks, per workload, points not dominated in (PUs, Perf).
+func markPareto(pts []TradeoffPoint) {
+	byW := map[string][]int{}
+	for i, p := range pts {
+		byW[p.Workload] = append(byW[p.Workload], i)
+	}
+	for _, idxs := range byW {
+		for _, i := range idxs {
+			dominated := false
+			for _, j := range idxs {
+				if i == j {
+					continue
+				}
+				if pts[j].PUs <= pts[i].PUs && pts[j].Perf >= pts[i].Perf &&
+					(pts[j].PUs < pts[i].PUs || pts[j].Perf > pts[i].Perf) {
+					dominated = true
+					break
+				}
+			}
+			pts[i].Pareto = !dominated
+		}
+	}
+}
+
+func renderFig9b(pts []TradeoffPoint) string {
+	sorted := append([]TradeoffPoint(nil), pts...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Workload != sorted[j].Workload {
+			return sorted[i].Workload < sorted[j].Workload
+		}
+		if sorted[i].PUs != sorted[j].PUs {
+			return sorted[i].PUs < sorted[j].PUs
+		}
+		return sorted[i].Perf < sorted[j].Perf
+	})
+	var rows [][]string
+	for _, p := range sorted {
+		mark := ""
+		if p.Pareto {
+			mark = "*"
+		}
+		rows = append(rows, []string{
+			p.Workload, fmt.Sprintf("%d", p.Par), p.OptSet,
+			fmt.Sprintf("%d", p.PUs), fmt.Sprintf("%.2f", p.Perf), mark,
+		})
+	}
+	return "Fig 9b — performance/resource tradeoff space (* = Pareto frontier)\n" +
+		table([]string{"workload", "par", "opts", "PUs", "perf", "pareto"}, rows)
+}

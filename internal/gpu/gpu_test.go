@@ -1,0 +1,50 @@
+package gpu
+
+import "testing"
+
+func TestDenseNearPeak(t *testing.T) {
+	v := TeslaV100()
+	w := Workload{Name: "gemm", FLOPs: 2e12, Bytes: 1e10, Class: DenseLinear, Kernels: 10}
+	eff := v.Throughput(w) / (v.PeakFP32TFlops * 1e12)
+	if eff < 0.5 || eff > 0.9 {
+		t.Errorf("dense efficiency = %.2f, want 0.5-0.9", eff)
+	}
+}
+
+func TestSparseGraphFarFromPeak(t *testing.T) {
+	v := TeslaV100()
+	w := Workload{Name: "pr", FLOPs: 1e10, Bytes: 1e10, Class: SparseGraph, Kernels: 100}
+	eff := v.Throughput(w) / (v.PeakFP32TFlops * 1e12)
+	if eff > 0.05 {
+		t.Errorf("sparse graph efficiency = %.3f, want << 5%%", eff)
+	}
+}
+
+func TestMemoryBoundCase(t *testing.T) {
+	v := TeslaV100()
+	// 1 FLOP per 100 bytes: memory roof must dominate.
+	w := Workload{Name: "stream", FLOPs: 1e9, Bytes: 1e11, Class: StreamingKernel}
+	got := v.Runtime(w)
+	memTime := 1e11 / (900e9 * 0.80)
+	if got < memTime*0.99 {
+		t.Errorf("runtime %v below the memory roof %v", got, memTime)
+	}
+}
+
+func TestSerialStepsFloor(t *testing.T) {
+	v := TeslaV100()
+	w := Workload{Name: "lstm", FLOPs: 1e6, Bytes: 1e6, Class: SmallBatchRNN, SerialSteps: 1000}
+	if got, want := v.Runtime(w), 1000*8e-6; got < want {
+		t.Errorf("step-serialized runtime %v below the %v floor", got, want)
+	}
+}
+
+func TestKernelLaunchOverheadCounts(t *testing.T) {
+	v := TeslaV100()
+	w0 := Workload{Name: "k", FLOPs: 1e9, Bytes: 1e9, Class: StreamingKernel}
+	w1 := w0
+	w1.Kernels = 1000
+	if v.Runtime(w1) <= v.Runtime(w0) {
+		t.Error("kernel launches must add time")
+	}
+}

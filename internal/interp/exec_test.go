@@ -1,0 +1,189 @@
+package interp
+
+import (
+	"math"
+	"testing"
+
+	"sara/spatial"
+)
+
+func TestExecDotProduct(t *testing.T) {
+	const n = 64
+	b := spatial.NewBuilder("dot")
+	x := b.DRAM("x", n)
+	y := b.DRAM("y", n)
+	out := b.Reg("out")
+	b.For("i", 0, n, 1, 1, func(i spatial.Iter) {
+		b.Block("mac", func(blk *spatial.Block) {
+			xv := blk.Read(x, spatial.Streaming())
+			yv := blk.Read(y, spatial.Streaming())
+			m := blk.Op(spatial.OpMul, xv, yv)
+			s := blk.Accum(m)
+			blk.WriteFrom(out, spatial.Constant(0), s)
+		})
+	})
+	p := b.MustBuild()
+
+	e := NewExec(p)
+	xs, ys := make([]float64, n), make([]float64, n)
+	want := 0.0
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = float64(2 * i)
+		want += xs[i] * ys[i]
+	}
+	if err := e.SetMem("x", xs); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetMem("y", ys); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	got, err := e.Mem("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got[0]-want) > 1e-9 {
+		t.Errorf("dot = %v, want %v", got[0], want)
+	}
+}
+
+func TestExecTiledCopyThroughScratchpad(t *testing.T) {
+	const tiles, tileSize = 4, 16
+	b := spatial.NewBuilder("copy")
+	src := b.DRAM("src", tiles*tileSize)
+	dst := b.DRAM("dst", tiles*tileSize)
+	tile := b.SRAM("tile", tileSize)
+	b.For("a", 0, tiles, 1, 1, func(a spatial.Iter) {
+		b.For("i", 0, tileSize, 1, 1, func(i spatial.Iter) {
+			b.Block("ld", func(blk *spatial.Block) {
+				v := blk.Read(src, spatial.Streaming())
+				blk.WriteFrom(tile, spatial.Affine(0, spatial.Term(i, 1)), v)
+			})
+		})
+		b.For("j", 0, tileSize, 1, 1, func(j spatial.Iter) {
+			b.Block("st", func(blk *spatial.Block) {
+				v := blk.Read(tile, spatial.Affine(0, spatial.Term(j, 1)))
+				d := blk.Op(spatial.OpMul, v, v) // square on the way out
+				blk.WriteFrom(dst, spatial.Streaming(), d)
+			})
+		})
+	})
+	p := b.MustBuild()
+
+	e := NewExec(p)
+	in := make([]float64, tiles*tileSize)
+	for i := range in {
+		in[i] = float64(i % 7)
+	}
+	if err := e.SetMem("src", in); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	got, _ := e.Mem("dst")
+	for i, v := range got {
+		if want := in[i] * in[i]; v != want {
+			t.Fatalf("dst[%d] = %v, want %v", i, v, want)
+		}
+	}
+}
+
+func TestExecFIFOOrdering(t *testing.T) {
+	const n = 32
+	b := spatial.NewBuilder("fifo")
+	src := b.DRAM("src", n)
+	dst := b.DRAM("dst", n)
+	q := b.FIFO("q", 8)
+	b.For("i", 0, n, 1, 1, func(i spatial.Iter) {
+		b.Block("w", func(blk *spatial.Block) {
+			v := blk.Read(src, spatial.Streaming())
+			blk.WriteFrom(q, spatial.Streaming(), v)
+		})
+		b.Block("r", func(blk *spatial.Block) {
+			v := blk.Read(q, spatial.Streaming())
+			blk.WriteFrom(dst, spatial.Streaming(), v)
+		})
+	})
+	p := b.MustBuild()
+
+	e := NewExec(p)
+	in := make([]float64, n)
+	for i := range in {
+		in[i] = float64(100 + i)
+	}
+	if err := e.SetMem("src", in); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	got, _ := e.Mem("dst")
+	for i := range in {
+		if got[i] != in[i] {
+			t.Fatalf("fifo order broken at %d: %v != %v", i, got[i], in[i])
+		}
+	}
+}
+
+func TestExecBranchTakesCondition(t *testing.T) {
+	b := spatial.NewBuilder("br")
+	m := b.SRAM("m", 4)
+	b.If("c",
+		func(blk *spatial.Block) { blk.Op(spatial.OpCmp, spatial.External, spatial.External) },
+		func() {
+			b.Block("then", func(blk *spatial.Block) {
+				v := blk.Op(spatial.OpAdd, spatial.External, spatial.External)
+				blk.WriteFrom(m, spatial.Constant(0), v)
+			})
+		},
+		func() {
+			b.Block("else", func(blk *spatial.Block) {
+				v := blk.Op(spatial.OpMul, spatial.External, spatial.External)
+				blk.WriteFrom(m, spatial.Constant(1), v)
+			})
+		})
+	p := b.MustBuild()
+
+	// Cmp(1,1) = 0 → else clause: m[1] = 1*1, m[0] untouched.
+	e := NewExec(p)
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	got, _ := e.Mem("m")
+	if got[0] != 0 || got[1] != 1 {
+		t.Errorf("branch semantics: m = %v, want [0 1 ...]", got[:2])
+	}
+}
+
+func TestExecGuardsRunaway(t *testing.T) {
+	b := spatial.NewBuilder("big")
+	x := b.DRAM("x", 1<<20)
+	b.For("i", 0, 1<<20, 1, 1, func(i spatial.Iter) {
+		b.Block("t", func(blk *spatial.Block) {
+			blk.Read(x, spatial.Streaming())
+		})
+	})
+	e := NewExec(b.MustBuild())
+	e.MaxSteps = 1000
+	if err := e.Run(); err == nil {
+		t.Fatal("expected step-limit error")
+	}
+}
+
+func TestExecRejectsOutOfBounds(t *testing.T) {
+	b := spatial.NewBuilder("oob")
+	m := b.SRAM("m", 4)
+	b.For("i", 0, 8, 1, 1, func(i spatial.Iter) {
+		b.Block("w", func(blk *spatial.Block) {
+			blk.Write(m, spatial.Affine(0, spatial.Term(i, 1)))
+		})
+	})
+	e := NewExec(b.MustBuild())
+	if err := e.Run(); err == nil {
+		t.Fatal("expected out-of-bounds error")
+	}
+}

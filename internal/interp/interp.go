@@ -1,0 +1,176 @@
+// Package interp is a reference interpreter over the frontend IR's address
+// semantics: it enumerates the concrete addresses an affine access touches,
+// per iteration of any enclosing loop. The compiler relies on span *analysis*
+// (ir.Pattern.Span) to relax CMMC credits — the A(R) ⊆ A(W) condition of
+// paper §III-A1 — and to size scratchpads; this interpreter provides ground
+// truth to validate those analyses against, access by access:
+//
+//   - Bounds: every address an access generates falls inside its memory.
+//   - Coverage: wherever the consistency pass relaxed a credit beyond 1, the
+//     later accessor's address set per iteration of the LCD loop really is
+//     covered by the earlier accessor's.
+package interp
+
+import (
+	"fmt"
+
+	"sara/internal/consistency"
+	"sara/internal/ir"
+)
+
+// maxEnum bounds the iteration-space enumeration per access so validation of
+// paper-scale programs stays fast; loops beyond the cap are sampled at their
+// first and last iterations (affine extremes live at the corners).
+const maxEnum = 1 << 16
+
+// AddressSet enumerates the addresses an access touches during one iteration
+// of the controller anc (for every assignment of loops outside anc the set
+// is the same up to the offset contributed by those loops, which affine
+// coverage comparisons may ignore because both accessors share them).
+// Returns nil for non-affine (random) patterns.
+func AddressSet(p *ir.Program, acc *ir.Access, anc ir.CtrlID) map[int]bool {
+	switch acc.Pat.Kind {
+	case ir.PatRandom:
+		return nil
+	case ir.PatConstant:
+		return map[int]bool{acc.Pat.Offset: true}
+	}
+	// Collect the loops strictly below anc enclosing the access.
+	var loops []*ir.Ctrl
+	for id := acc.Block; id != anc && id != ir.NoCtrl; id = p.Ctrl(id).Parent {
+		c := p.Ctrl(id)
+		if c.IsLoop() {
+			loops = append(loops, c)
+		}
+	}
+	out := map[int]bool{}
+	// Cartesian enumeration with corner sampling for huge spaces.
+	total := 1
+	for _, l := range loops {
+		total *= l.Trip
+		if total > maxEnum {
+			break
+		}
+	}
+	idx := make([]int, len(loops))
+	var rec func(d int)
+	rec = func(d int) {
+		if len(out) > maxEnum {
+			return
+		}
+		if d == len(loops) {
+			addr := acc.Pat.Offset
+			for i, l := range loops {
+				coef := 0
+				if acc.Pat.Coeffs != nil {
+					coef = acc.Pat.Coeffs[l.ID]
+				}
+				if acc.Pat.Kind == ir.PatStreaming && coef == 0 {
+					coef = 1
+				}
+				iter := l.Min + idx[i]*l.Step
+				if l.Kind != ir.CtrlLoop {
+					iter = idx[i]
+				}
+				addr += coef * iter
+			}
+			out[addr] = true
+			return
+		}
+		l := loops[d]
+		if total <= maxEnum {
+			for k := 0; k < l.Trip; k++ {
+				idx[d] = k
+				rec(d + 1)
+			}
+			return
+		}
+		// Corner sampling.
+		for _, k := range []int{0, l.Trip - 1} {
+			idx[d] = k
+			rec(d + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// CheckBounds verifies every statically analyzable access stays inside its
+// memory. Streaming DRAM accesses are exempt (their address is the stream
+// position, bounded by construction).
+func CheckBounds(p *ir.Program) error {
+	for _, acc := range p.Accs {
+		m := p.Mem(acc.Mem)
+		if m.Kind == ir.MemDRAM || acc.Pat.Kind == ir.PatRandom || acc.Pat.Kind == ir.PatStreaming {
+			continue
+		}
+		set := AddressSet(p, acc, 0)
+		for addr := range set {
+			if addr < 0 || int64(addr) >= m.Size() {
+				return fmt.Errorf("interp: access %s reaches %d outside %s[0,%d)",
+					acc.Name, addr, m.Name, m.Size())
+			}
+		}
+	}
+	return nil
+}
+
+// Violation reports one unsound credit relaxation.
+type Violation struct {
+	Mem      string
+	Src, Dst string
+	Loop     string
+	// Uncovered is a witness address the later accessor touches that the
+	// earlier one does not.
+	Uncovered int
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("mem %s: credit between %s and %s relaxed over loop %s but address %d is not covered",
+		v.Mem, v.Src, v.Dst, v.Loop, v.Uncovered)
+}
+
+// CheckRelaxations validates every relaxed credit in the plan against
+// enumerated address sets: for a backward edge with Init > 1 on loop L, the
+// destination accessor's per-L-iteration address set must be a subset of the
+// source accessor's (the paper's multibuffering soundness condition). Edges
+// whose accessors enumerate identically offset sets are accepted.
+func CheckRelaxations(p *ir.Program, plan *consistency.Plan) []Violation {
+	var out []Violation
+	for _, mp := range plan.Mems {
+		m := p.Mem(mp.Mem)
+		for _, d := range mp.Backward {
+			if d.Init <= 1 {
+				continue
+			}
+			// RAR credits only serialize the PMU's single read stream; two
+			// reads carry no data hazard, so coverage is irrelevant.
+			if d.Kind == consistency.RAR {
+				continue
+			}
+			// Backward edge Src ~> Dst means Dst executed first in program
+			// order; Src is the later accessor whose span must be covered.
+			first := p.Access(d.Dst)
+			second := p.Access(d.Src)
+			setFirst := AddressSet(p, first, d.Loop)
+			setSecond := AddressSet(p, second, d.Loop)
+			if setFirst == nil || setSecond == nil {
+				out = append(out, Violation{
+					Mem: m.Name, Src: second.Name, Dst: first.Name,
+					Loop: p.Ctrl(d.Loop).Name, Uncovered: -1,
+				})
+				continue
+			}
+			for addr := range setSecond {
+				if !setFirst[addr] {
+					out = append(out, Violation{
+						Mem: m.Name, Src: second.Name, Dst: first.Name,
+						Loop: p.Ctrl(d.Loop).Name, Uncovered: addr,
+					})
+					break
+				}
+			}
+		}
+	}
+	return out
+}

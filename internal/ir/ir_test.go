@@ -1,0 +1,181 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildNested constructs the paper's Fig 2a shape:
+//
+//	A: for { B: for { C,D,E blocks under B-children loops }, F: for, G: for }
+//
+// with loops C..G each containing one block.
+func buildNested(t *testing.T) (*Program, map[string]CtrlID) {
+	t.Helper()
+	p := NewProgram("fig2a")
+	ids := map[string]CtrlID{}
+	loop := func(name string, parent CtrlID, trip int) *Ctrl {
+		c := p.AddCtrl(CtrlLoop, name, parent)
+		c.Min, c.Max, c.Step, c.Trip, c.Par = 0, trip, 1, trip, 1
+		ids[name] = c.ID
+		return c
+	}
+	block := func(name string, parent CtrlID) *Ctrl {
+		c := p.AddCtrl(CtrlBlock, name, parent)
+		ids[name] = c.ID
+		return c
+	}
+	a := loop("A", 0, 4)
+	b := loop("B", a.ID, 3)
+	for _, n := range []string{"C", "D", "E"} {
+		l := loop(n, b.ID, 2)
+		block(n+"blk", l.ID)
+	}
+	f := loop("F", a.ID, 5)
+	block("Fblk", f.ID)
+	g := loop("G", a.ID, 6)
+	block("Gblk", g.ID)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return p, ids
+}
+
+func TestLCA(t *testing.T) {
+	p, ids := buildNested(t)
+	tests := []struct {
+		a, b, want string
+	}{
+		{"Cblk", "Dblk", "B"},
+		{"Cblk", "Fblk", "A"},
+		{"Fblk", "Gblk", "A"},
+		{"Cblk", "Cblk", "Cblk"},
+		{"C", "B", "B"},
+	}
+	for _, tc := range tests {
+		got := p.LCA(ids[tc.a], ids[tc.b])
+		if got != ids[tc.want] {
+			t.Errorf("LCA(%s,%s) = %s, want %s", tc.a, tc.b, p.Ctrl(got).Name, tc.want)
+		}
+	}
+}
+
+func TestChildToward(t *testing.T) {
+	p, ids := buildNested(t)
+	// From LCA A down to Gblk, the first child is loop G.
+	got := p.ChildToward(ids["A"], ids["Gblk"])
+	if got != ids["G"] {
+		t.Errorf("ChildToward(A, Gblk) = %s, want G", p.Ctrl(got).Name)
+	}
+	if got := p.ChildToward(ids["B"], ids["B"]); got != ids["B"] {
+		t.Errorf("ChildToward(B, B) should be B itself")
+	}
+}
+
+func TestIterationCounts(t *testing.T) {
+	p, ids := buildNested(t)
+	// Cblk runs C(2) × B(3) × A(4) = 24 times per program.
+	if got := p.TotalIterations(ids["Cblk"]); got != 24 {
+		t.Errorf("TotalIterations(Cblk) = %d, want 24", got)
+	}
+	// Per iteration of A, Cblk runs C(2) × B(3) = 6 times.
+	if got := p.IterationsUnder(ids["A"], ids["Cblk"]); got != 6 {
+		t.Errorf("IterationsUnder(A, Cblk) = %d, want 6", got)
+	}
+	// Per iteration of B, Cblk runs 2 times.
+	if got := p.IterationsUnder(ids["B"], ids["Cblk"]); got != 2 {
+		t.Errorf("IterationsUnder(B, Cblk) = %d, want 2", got)
+	}
+}
+
+func TestProgramOrder(t *testing.T) {
+	p, ids := buildNested(t)
+	order := p.ProgramOrder()
+	pairs := [][2]string{{"B", "F"}, {"F", "G"}, {"Cblk", "Dblk"}, {"Dblk", "Gblk"}}
+	for _, pr := range pairs {
+		if !p.Before(order, ids[pr[0]], ids[pr[1]]) {
+			t.Errorf("expected %s before %s in program order", pr[0], pr[1])
+		}
+	}
+}
+
+func TestIsAncestor(t *testing.T) {
+	p, ids := buildNested(t)
+	if !p.IsAncestor(ids["A"], ids["Cblk"]) {
+		t.Error("A should be an ancestor of Cblk")
+	}
+	if p.IsAncestor(ids["F"], ids["Cblk"]) {
+		t.Error("F is not an ancestor of Cblk")
+	}
+	if !p.IsAncestor(ids["B"], ids["B"]) {
+		t.Error("a node is its own ancestor")
+	}
+}
+
+func TestValidateCatchesBadTrip(t *testing.T) {
+	p := NewProgram("bad")
+	c := p.AddCtrl(CtrlLoop, "L", 0)
+	c.Min, c.Max, c.Step, c.Trip = 0, 10, 1, 3 // inconsistent
+	p.AddCtrl(CtrlBlock, "b", c.ID)
+	if err := p.Validate(); err == nil {
+		t.Fatal("expected validation error for inconsistent trip count")
+	}
+}
+
+func TestValidateCatchesEmptyLoop(t *testing.T) {
+	p := NewProgram("bad")
+	c := p.AddCtrl(CtrlLoop, "L", 0)
+	c.Min, c.Max, c.Step, c.Trip = 0, 4, 1, 4
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "empty body") {
+		t.Fatalf("expected empty-body error, got %v", err)
+	}
+}
+
+func TestPatternSpan(t *testing.T) {
+	p, ids := buildNested(t)
+	// Affine access in Cblk with coefficient on loop C only: per iteration of
+	// B it spans C.Trip = 2 addresses; per iteration of A, still 2 (B has no
+	// coefficient).
+	pat := Pattern{Kind: PatAffine, Coeffs: map[CtrlID]int{ids["C"]: 1}}
+	if got := pat.Span(p, ids["Cblk"], ids["B"]); got != 2 {
+		t.Errorf("Span to B = %d, want 2", got)
+	}
+	if got := pat.Span(p, ids["Cblk"], ids["A"]); got != 2 {
+		t.Errorf("Span to A = %d, want 2", got)
+	}
+	// With coefficients on both B and C, span to A is 2*3 = 6.
+	pat2 := Pattern{Kind: PatAffine, Coeffs: map[CtrlID]int{ids["C"]: 1, ids["B"]: 2}}
+	if got := pat2.Span(p, ids["Cblk"], ids["A"]); got != 6 {
+		t.Errorf("Span(two coeffs) to A = %d, want 6", got)
+	}
+	if got := (Pattern{Kind: PatRandom}).Span(p, ids["Cblk"], ids["A"]); got != -1 {
+		t.Errorf("random span = %d, want -1", got)
+	}
+	if got := (Pattern{Kind: PatConstant}).Span(p, ids["Cblk"], ids["A"]); got != 1 {
+		t.Errorf("const span = %d, want 1", got)
+	}
+}
+
+func TestBlockStages(t *testing.T) {
+	p := NewProgram("stages")
+	b := p.AddCtrl(CtrlBlock, "b", 0)
+	a0 := p.AddOp(b.ID, OpAdd)     // depth 1
+	a1 := p.AddOp(b.ID, OpMul, a0) // depth 2
+	p.AddOp(b.ID, OpExp, a1)       // depth 5 (exp = 3 stages)
+	if got := p.BlockStages(b.ID); got != 5 {
+		t.Errorf("BlockStages = %d, want 5", got)
+	}
+	if got := p.BlockOpCount(b.ID); got != 3 {
+		t.Errorf("BlockOpCount = %d, want 3", got)
+	}
+}
+
+func TestDumpShape(t *testing.T) {
+	p, _ := buildNested(t)
+	d := p.Dump()
+	for _, want := range []string{"loop A trip=4", "loop B trip=3", "block Gblk"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("Dump missing %q:\n%s", want, d)
+		}
+	}
+}

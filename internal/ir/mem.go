@@ -1,0 +1,209 @@
+package ir
+
+import "fmt"
+
+// MemID identifies a memory in a Program.
+type MemID int
+
+// AccessID identifies a memory access in a Program.
+type AccessID int
+
+// MemKind enumerates the kinds of program memories.
+type MemKind int
+
+const (
+	// MemSRAM is an on-chip addressable scratchpad. Lowered to one or more
+	// VMUs (banked by the memory partitioner when needed).
+	MemSRAM MemKind = iota
+	// MemReg is a scalar register (a degenerate 1-element scratchpad).
+	MemReg
+	// MemFIFO is an on-chip streaming queue: accesses are non-indexable and
+	// strictly in order. Memory strength reduction turns constant-address
+	// SRAMs into FIFOs (paper §III-C a).
+	MemFIFO
+	// MemDRAM is an off-chip tensor reached through a DRAM interface. Reads
+	// and writes are streaming and in-order per request stream, with an
+	// acknowledgment per request (paper §II-C).
+	MemDRAM
+)
+
+// String returns the lower-case name of the memory kind.
+func (k MemKind) String() string {
+	switch k {
+	case MemSRAM:
+		return "sram"
+	case MemReg:
+		return "reg"
+	case MemFIFO:
+		return "fifo"
+	case MemDRAM:
+		return "dram"
+	default:
+		return fmt.Sprintf("memkind(%d)", int(k))
+	}
+}
+
+// Mem is a logical memory: one on-chip data structure or one off-chip tensor.
+// SARA allocates a virtual memory unit (VMU) per on-chip Mem and a DRAM
+// address generator per off-chip access stream.
+type Mem struct {
+	ID   MemID
+	Kind MemKind
+	Name string
+	// Dims are the logical tensor dimensions in elements. Regs have no dims.
+	Dims []int
+	// Accessors lists every access to this memory in program order.
+	Accessors []AccessID
+	// MultiBuffer is the buffering depth assigned by the compiler (1 = single
+	// buffer, 2 = double buffer, ...). CMMC credits are initialized to this
+	// depth for relaxable access pairs (paper §III-A1).
+	MultiBuffer int
+}
+
+// Size returns the number of elements of the memory (1 for regs).
+func (m *Mem) Size() int64 {
+	n := int64(1)
+	for _, d := range m.Dims {
+		n *= int64(d)
+	}
+	return n
+}
+
+// AddMem appends a memory to the program and returns it.
+func (p *Program) AddMem(kind MemKind, name string, dims ...int) *Mem {
+	m := &Mem{ID: MemID(len(p.Mems)), Kind: kind, Name: name, Dims: dims, MultiBuffer: 1}
+	p.Mems = append(p.Mems, m)
+	return m
+}
+
+// Dir is the direction of a memory access.
+type Dir int
+
+const (
+	// Read loads from the memory.
+	Read Dir = iota
+	// Write stores to the memory.
+	Write
+)
+
+// String returns "R" or "W".
+func (d Dir) String() string {
+	if d == Read {
+		return "R"
+	}
+	return "W"
+}
+
+// PatternKind classifies the address pattern of an access. The pattern
+// decides whether banking crossbars can be statically eliminated
+// (paper §III-B2) and whether msr can demote the memory to a FIFO.
+type PatternKind int
+
+const (
+	// PatConstant is a fixed, compile-time-known address.
+	PatConstant PatternKind = iota
+	// PatAffine is an affine function of enclosing loop iterators.
+	PatAffine
+	// PatStreaming is a sequential scan (the affine special case with unit
+	// stride over the innermost iterator); DRAM streams use this.
+	PatStreaming
+	// PatRandom is a data-dependent (gather/scatter) address, e.g. graph
+	// neighbour lookups.
+	PatRandom
+)
+
+// String returns the lower-case name of the pattern kind.
+func (k PatternKind) String() string {
+	switch k {
+	case PatConstant:
+		return "const"
+	case PatAffine:
+		return "affine"
+	case PatStreaming:
+		return "stream"
+	case PatRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("pattern(%d)", int(k))
+	}
+}
+
+// Pattern is the address pattern of an access. For PatAffine, Coeffs maps
+// enclosing loop controllers to their stride multipliers and Offset is the
+// constant term; a missing controller contributes zero.
+type Pattern struct {
+	Kind   PatternKind
+	Coeffs map[CtrlID]int
+	Offset int
+}
+
+// Span returns the number of distinct addresses the access touches per
+// iteration of controller anc, assuming the affine coefficients are exact.
+// Used by the consistency analysis to relax credits when the reader's span is
+// covered by the writer's (paper §III-A1). Returns -1 when unknown (random).
+func (pat Pattern) Span(p *Program, accCtrl, anc CtrlID) int64 {
+	switch pat.Kind {
+	case PatConstant:
+		return 1
+	case PatRandom:
+		return -1
+	}
+	span := int64(1)
+	for id := accCtrl; id != anc; id = p.Ctrls[id].Parent {
+		c := p.Ctrls[id]
+		if !c.IsLoop() {
+			continue
+		}
+		coef := 0
+		if pat.Coeffs != nil {
+			coef = pat.Coeffs[id]
+		}
+		if pat.Kind == PatStreaming && coef == 0 {
+			coef = 1
+		}
+		if coef != 0 {
+			span *= int64(c.Trip)
+		}
+	}
+	return span
+}
+
+// Access is one static memory access site: a read or write issued from a
+// hyperblock against a memory, with an address pattern and a vector width.
+// SARA splits each access into a request VCU and a response VCU during
+// lowering (paper §III-A1, Fig 2c).
+type Access struct {
+	ID    AccessID
+	Mem   MemID
+	Block CtrlID // the hyperblock issuing the access
+	Dir   Dir
+	Pat   Pattern
+	// Vec is the SIMD vector width of the access (elements per issue),
+	// set when the innermost enclosing loop is parallelized.
+	Vec int
+	// Name is a human-readable label like "W3" or "R4".
+	Name string
+}
+
+// AddAccess appends an access issued by block against mem, registering it
+// with both the block and the memory. The access inherits Vec=1; lowering
+// widens it when the innermost loop is vectorized.
+func (p *Program) AddAccess(block CtrlID, mem MemID, dir Dir, pat Pattern, name string) *Access {
+	b := p.Ctrls[block]
+	if b.Kind != CtrlBlock {
+		panic(fmt.Sprintf("ir: accesses must be issued from hyperblocks, got %s", b.Kind))
+	}
+	a := &Access{
+		ID:    AccessID(len(p.Accs)),
+		Mem:   mem,
+		Block: block,
+		Dir:   dir,
+		Pat:   pat,
+		Vec:   1,
+		Name:  name,
+	}
+	p.Accs = append(p.Accs, a)
+	b.Accesses = append(b.Accesses, a.ID)
+	p.Mems[mem].Accessors = append(p.Mems[mem].Accessors, a.ID)
+	return a
+}

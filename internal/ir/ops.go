@@ -1,0 +1,150 @@
+package ir
+
+import "fmt"
+
+// OpKind enumerates datapath operations inside a hyperblock. The set mirrors
+// the functional-unit capabilities of a Plasticine PCU stage: fixed/floating
+// ALU ops, a fused multiply-add, transcendentals (for activation functions),
+// comparisons, and selects. Loads and stores are modelled as Access records,
+// not ops; OpLoad/OpStore placeholders tie an access's data into the block's
+// dataflow graph.
+type OpKind int
+
+const (
+	// OpAdd through OpDiv are two-input arithmetic.
+	OpAdd OpKind = iota
+	OpSub
+	OpMul
+	OpDiv
+	// OpFMA is a fused multiply-add (three inputs).
+	OpFMA
+	// OpMin and OpMax are two-input selects by comparison.
+	OpMin
+	OpMax
+	// OpExp, OpLog, OpSqrt, OpSigmoid, OpTanh are one-input transcendentals,
+	// implemented on Plasticine by multi-stage lookup+interp pipelines.
+	OpExp
+	OpLog
+	OpSqrt
+	OpSigmoid
+	OpTanh
+	// OpCmp is a comparison producing a predicate.
+	OpCmp
+	// OpMux selects between two inputs by a predicate (inner-branch
+	// predication, paper §III-A2b).
+	OpMux
+	// OpReduce is a lane-reduction tree (sum/min/max across SIMD lanes).
+	OpReduce
+	// OpAccum is a loop-carried accumulation register update (introduces a
+	// loop-carried dependence cycle that partitioning must keep intact,
+	// paper Fig 7).
+	OpAccum
+	// OpCounter materializes a loop iterator value into the datapath.
+	OpCounter
+	// OpLoad represents the data arriving from a read access.
+	OpLoad
+	// OpStore represents the data leaving toward a write access.
+	OpStore
+	// OpShuffle permutes lanes (used by sort and FFT-style kernels).
+	OpShuffle
+	// OpRand stands for an opaque scalar computation of unit cost.
+	OpRand
+)
+
+// String returns the lower-case mnemonic of the op kind.
+func (k OpKind) String() string {
+	names := [...]string{
+		"add", "sub", "mul", "div", "fma", "min", "max",
+		"exp", "log", "sqrt", "sigmoid", "tanh",
+		"cmp", "mux", "reduce", "accum", "counter", "load", "store",
+		"shuffle", "rand",
+	}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return fmt.Sprintf("op(%d)", int(k))
+}
+
+// Stages returns the number of PCU pipeline stages the op occupies. Plasticine
+// PCUs have six statically configured stages; transcendentals occupy several.
+func (k OpKind) Stages() int {
+	switch k {
+	case OpExp, OpLog, OpSqrt, OpSigmoid, OpTanh:
+		return 3
+	case OpDiv:
+		return 2
+	case OpFMA, OpReduce:
+		return 1
+	default:
+		return 1
+	}
+}
+
+// Op is one node of a hyperblock's operation dataflow graph. Inputs index
+// other ops within the same block; -1 marks an external input (a loop
+// iterator, a streamed dependence from another block, or a constant).
+type Op struct {
+	Kind OpKind
+	// Inputs are indices of producer ops within the same block, or -1 for
+	// block-external inputs.
+	Inputs []int
+	// Acc, for OpLoad/OpStore, is the access this op is tied to.
+	Acc AccessID
+	// LCD marks OpAccum ops whose self-edge is a loop-carried dependence.
+	LCD bool
+}
+
+// AddOp appends an op to block b and returns its index within the block.
+func (p *Program) AddOp(block CtrlID, kind OpKind, inputs ...int) int {
+	b := p.Ctrls[block]
+	if b.Kind != CtrlBlock {
+		panic(fmt.Sprintf("ir: ops belong to hyperblocks, got %s", b.Kind))
+	}
+	b.Ops = append(b.Ops, &Op{Kind: kind, Inputs: inputs})
+	return len(b.Ops) - 1
+}
+
+// AddOpChain appends n ops of kind k to block b in a linear dependence chain
+// and returns the index of the last one. It is a convenience for workloads
+// that model a block's compute by its op count and critical path.
+func (p *Program) AddOpChain(block CtrlID, k OpKind, n int) int {
+	last := -1
+	for i := 0; i < n; i++ {
+		last = p.AddOp(block, k, last)
+	}
+	return last
+}
+
+// BlockOpCount returns the number of datapath ops in the block (excluding
+// load/store placeholders), the measure used by the compute partitioner.
+func (p *Program) BlockOpCount(block CtrlID) int {
+	n := 0
+	for _, op := range p.Ctrls[block].Ops {
+		if op.Kind != OpLoad && op.Kind != OpStore {
+			n++
+		}
+	}
+	return n
+}
+
+// BlockStages returns the pipeline-stage footprint of the block's ops: the
+// sum of per-op stage counts along the critical path approximation used for
+// latency estimation (the longest chain through the block's DFG).
+func (p *Program) BlockStages(block CtrlID) int {
+	b := p.Ctrls[block]
+	depth := make([]int, len(b.Ops))
+	best := 0
+	for i, op := range b.Ops {
+		d := 0
+		for _, in := range op.Inputs {
+			if in >= 0 && depth[in] > d {
+				d = depth[in]
+			}
+		}
+		depth[i] = d + op.Kind.Stages()
+		if depth[i] > best {
+			best = depth[i]
+		}
+	}
+	return best
+}

@@ -1,0 +1,87 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Validate checks the structural invariants the compiler relies on. It
+// returns a joined error describing every violation found, or nil.
+func (p *Program) Validate() error {
+	var errs []error
+	check := func(ok bool, format string, args ...any) {
+		if !ok {
+			errs = append(errs, fmt.Errorf(format, args...))
+		}
+	}
+
+	check(len(p.Ctrls) > 0 && p.Ctrls[0].Kind == CtrlRoot, "program must start with a root controller")
+	check(p.TypeBits == 32 || p.TypeBits == 16 || p.TypeBits == 64, "TypeBits must be 16, 32, or 64, got %d", p.TypeBits)
+
+	for _, c := range p.Ctrls {
+		if c.ID != 0 {
+			check(c.Parent != NoCtrl, "ctrl %s(%d) is detached", c.Name, c.ID)
+			check(c.Kind != CtrlRoot, "ctrl %s(%d): only ctrl 0 may be root", c.Name, c.ID)
+		}
+		check(c.Par >= 1, "ctrl %s(%d): par must be >= 1, got %d", c.Name, c.ID, c.Par)
+		check(c.Trip >= 1, "ctrl %s(%d): trip must be >= 1, got %d", c.Name, c.ID, c.Trip)
+		switch c.Kind {
+		case CtrlBlock:
+			check(len(c.Children) == 0, "block %s(%d) must be a leaf", c.Name, c.ID)
+		case CtrlLoop:
+			if c.Step != 0 {
+				want := (c.Max - c.Min + c.Step - 1) / c.Step
+				check(c.Trip == want, "loop %s(%d): trip %d inconsistent with bounds [%d,%d) step %d",
+					c.Name, c.ID, c.Trip, c.Min, c.Max, c.Step)
+			}
+			check(len(c.Children) > 0, "loop %s(%d) has an empty body", c.Name, c.ID)
+		case CtrlLoopDyn:
+			check(c.BoundsBlock != NoCtrl, "dynamic loop %s(%d) has no bounds block", c.Name, c.ID)
+		case CtrlWhile:
+			check(c.BoundsBlock != NoCtrl, "while loop %s(%d) has no condition block", c.Name, c.ID)
+			check(p.IsAncestor(c.ID, c.BoundsBlock) || p.Ctrls[c.BoundsBlock].Parent == c.Parent,
+				"while loop %s(%d): condition block must be inside the loop or a sibling", c.Name, c.ID)
+		case CtrlBranch:
+			check(c.CondBlock != NoCtrl, "branch %s(%d) has no condition block", c.Name, c.ID)
+			hasThen := false
+			for _, ch := range c.Children {
+				cl := p.Ctrls[ch].Clause
+				if ch == c.CondBlock {
+					continue
+				}
+				check(cl == ClauseThen || cl == ClauseElse,
+					"branch %s(%d): child %s(%d) has no clause tag", c.Name, c.ID, p.Ctrls[ch].Name, ch)
+				if cl == ClauseThen {
+					hasThen = true
+				}
+			}
+			check(hasThen, "branch %s(%d) has no then-clause children", c.Name, c.ID)
+		}
+		for _, ch := range c.Children {
+			check(p.Ctrls[ch].Parent == c.ID, "ctrl %s(%d): child %d does not point back", c.Name, c.ID, ch)
+		}
+	}
+
+	for _, m := range p.Mems {
+		check(m.MultiBuffer >= 1, "mem %s: multibuffer must be >= 1", m.Name)
+		if m.Kind != MemReg {
+			check(len(m.Dims) >= 1, "mem %s: %s needs dimensions", m.Name, m.Kind)
+		}
+		for _, aid := range m.Accessors {
+			check(p.Accs[aid].Mem == m.ID, "mem %s: accessor %d does not point back", m.Name, aid)
+		}
+	}
+
+	for _, a := range p.Accs {
+		check(a.Vec >= 1, "access %s: vec must be >= 1", a.Name)
+		b := p.Ctrls[a.Block]
+		check(b.Kind == CtrlBlock, "access %s: issued from non-block %s", a.Name, b.Kind)
+		m := p.Mems[a.Mem]
+		if m.Kind == MemFIFO {
+			check(a.Pat.Kind == PatStreaming || a.Pat.Kind == PatConstant,
+				"access %s: FIFOs are not indexable (pattern %s)", a.Name, a.Pat.Kind)
+		}
+	}
+
+	return errors.Join(errs...)
+}

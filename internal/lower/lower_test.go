@@ -1,0 +1,329 @@
+package lower
+
+import (
+	"strings"
+	"testing"
+
+	"sara/internal/arch"
+	"sara/internal/consistency"
+	"sara/internal/dfg"
+	"sara/internal/ir"
+	"sara/spatial"
+)
+
+func compile(t *testing.T, p *ir.Program) *Result {
+	t.Helper()
+	plan := consistency.Analyze(p, consistency.Options{})
+	res, err := Lower(p, plan, arch.SARA20x20(), Options{})
+	if err != nil {
+		t.Fatalf("Lower: %v", err)
+	}
+	return res
+}
+
+// producerConsumer builds: for i { W tile } ; for j { R tile } under an outer
+// loop, the canonical double-buffered pipeline.
+func producerConsumer(t *testing.T, parInner int) *ir.Program {
+	t.Helper()
+	b := spatial.NewBuilder("pc")
+	tile := b.SRAM("tile", 64)
+	x := b.DRAM("x", 4096)
+	b.For("a", 0, 8, 1, 1, func(a spatial.Iter) {
+		b.For("i", 0, 64, 1, 1, func(i spatial.Iter) {
+			b.Block("prod", func(blk *spatial.Block) {
+				v := blk.Read(x, spatial.Streaming())
+				blk.WriteFrom(tile, spatial.Affine(0, spatial.Term(i, 1)), v)
+			})
+		})
+		b.For("j", 0, 64, 1, parInner, func(j spatial.Iter) {
+			b.Block("cons", func(blk *spatial.Block) {
+				v := blk.Read(tile, spatial.Affine(0, spatial.Term(j, 1)))
+				m := blk.Op(spatial.OpMul, v, v)
+				blk.Accum(m)
+			})
+		})
+	})
+	return b.MustBuild()
+}
+
+func TestLowerProducerConsumerStructure(t *testing.T) {
+	res := compile(t, producerConsumer(t, 1))
+	g := res.G
+	st := g.Stats()
+	// Units: vmu.tile, prod, cons, ag(x read), req(W tile), resp(W tile),
+	// req(R tile). Plus token edges.
+	if st.VMUs != 1 {
+		t.Errorf("VMUs = %d, want 1", st.VMUs)
+	}
+	if st.AGs != 1 {
+		t.Errorf("AGs = %d, want 1", st.AGs)
+	}
+	if st.TokenEdges < 2 {
+		t.Errorf("token edges = %d, want >= 2 (forward + credit)", st.TokenEdges)
+	}
+	// The W->R forward token and the R~>W credit must connect the write's
+	// response unit to the read's request unit and vice versa.
+	var fwd, bwd bool
+	for _, eid := range res.SyncEdges {
+		e := g.Edge(eid)
+		if e.Init == 0 && g.VU(e.Src).Kind == dfg.VCUResponse && g.VU(e.Dst).Kind == dfg.VCURequest {
+			fwd = true
+		}
+		if e.Init >= 1 && e.LCD {
+			bwd = true
+			if e.Init != 2 {
+				t.Errorf("credit init = %d, want 2 (double buffer)", e.Init)
+			}
+		}
+	}
+	if !fwd || !bwd {
+		t.Errorf("missing sync edges: forward=%v backward=%v\n%s", fwd, bwd, g.Dump())
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestLowerVectorization(t *testing.T) {
+	res := compile(t, producerConsumer(t, 16))
+	// par 16 on innermost loop j vectorizes: the consumer unit has 16 lanes,
+	// no extra spatial copies.
+	var cons *dfg.VU
+	for _, u := range res.G.LiveVUs() {
+		if u.Name == "cons" {
+			if cons != nil {
+				t.Fatal("vectorization should not duplicate units")
+			}
+			cons = u
+		}
+	}
+	if cons == nil {
+		t.Fatal("consumer unit missing")
+	}
+	if cons.Lanes != 16 {
+		t.Errorf("consumer lanes = %d, want 16", cons.Lanes)
+	}
+	// Trip of j divides by 16: 64/16 = 4.
+	last := cons.Counters[len(cons.Counters)-1]
+	if last.Trip != 4 {
+		t.Errorf("vectorized trip = %d, want 4", last.Trip)
+	}
+}
+
+func TestLowerSpatialUnroll(t *testing.T) {
+	res := compile(t, producerConsumer(t, 64)) // 64 = 16 lanes × 4 spatial
+	var consumers []*dfg.VU
+	for _, u := range res.G.LiveVUs() {
+		if u.Name == "cons" {
+			consumers = append(consumers, u)
+		}
+	}
+	if len(consumers) != 4 {
+		t.Fatalf("spatial copies = %d, want 4", len(consumers))
+	}
+	seen := map[string]bool{}
+	for _, u := range consumers {
+		if u.Lanes != 16 {
+			t.Errorf("unrolled lanes = %d, want 16", u.Lanes)
+		}
+		last := u.Counters[len(u.Counters)-1]
+		if last.Trip != 1 {
+			t.Errorf("unrolled trip = %d, want 1 (64/(16*4))", last.Trip)
+		}
+		if seen[u.Instance] {
+			t.Errorf("duplicate instance path %q", u.Instance)
+		}
+		seen[u.Instance] = true
+	}
+	// Sync between 1 producer-side and 4 consumer-side instances must go
+	// through a sync unit.
+	if res.G.CountKind(dfg.VCUSync) == 0 {
+		t.Error("expected a sync unit for mismatched instance counts")
+	}
+	if err := res.G.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestLowerBranchGating(t *testing.T) {
+	b := spatial.NewBuilder("branch")
+	m := b.SRAM("mem", 16)
+	b.For("a", 0, 8, 1, 1, func(a spatial.Iter) {
+		b.If("even",
+			func(blk *spatial.Block) { blk.Op(spatial.OpCmp, spatial.External) },
+			func() {
+				b.For("d", 0, 4, 1, 1, func(d spatial.Iter) {
+					b.Block("w", func(blk *spatial.Block) {
+						blk.Write(m, spatial.Affine(0, spatial.Term(d, 1)))
+					})
+				})
+			},
+			func() {
+				b.For("f", 0, 4, 1, 1, func(f spatial.Iter) {
+					b.Block("r", func(blk *spatial.Block) {
+						blk.Read(m, spatial.Affine(0, spatial.Term(f, 1)))
+					})
+				})
+			})
+	})
+	res := compile(t, b.MustBuild())
+	g := res.G
+	// Find the condition unit and check it broadcasts to clause units.
+	var cond *dfg.VU
+	for _, u := range g.LiveVUs() {
+		if u.Kind == dfg.VCUCond {
+			cond = u
+		}
+	}
+	if cond == nil {
+		t.Fatal("no condition unit emitted")
+	}
+	nGated := len(g.Out(cond.ID))
+	if nGated < 2 {
+		t.Errorf("condition broadcasts to %d units, want >= 2 (both clauses)", nGated)
+	}
+	// Clause accesses have no forward token, only LCD credits.
+	for _, eid := range res.SyncEdges {
+		e := g.Edge(eid)
+		if !e.LCD {
+			t.Errorf("unexpected forward token %s between exclusive clauses", e.Label)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestLowerWhileSeedsCycle(t *testing.T) {
+	b := spatial.NewBuilder("while")
+	st := b.SRAM("state", 8)
+	b.While("conv", 10, func(i spatial.Iter) {
+		b.Block("body", func(blk *spatial.Block) {
+			v := blk.Read(st, spatial.Affine(0))
+			n := blk.Op(spatial.OpFMA, v, v, v)
+			blk.WriteFrom(st, spatial.Affine(0), n)
+		})
+	}, func(blk *spatial.Block) {
+		v := blk.Read(st, spatial.Affine(0))
+		blk.Op(spatial.OpCmp, v)
+	})
+	res := compile(t, b.MustBuild())
+	var whileEdges int
+	for _, e := range res.G.LiveEdges() {
+		if strings.Contains(e.Label, ".while") {
+			whileEdges++
+			if !e.LCD || e.Init != 1 {
+				t.Errorf("while edge %s: LCD=%v init=%d, want seeded LCD", e.Label, e.LCD, e.Init)
+			}
+		}
+	}
+	if whileEdges == 0 {
+		t.Error("no while-condition edges emitted")
+	}
+	if err := res.G.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestLowerBlockSplitOnWriteThenRead(t *testing.T) {
+	b := spatial.NewBuilder("wr")
+	m := b.SRAM("scratch", 16)
+	b.For("i", 0, 8, 1, 1, func(i spatial.Iter) {
+		b.Block("wr", func(blk *spatial.Block) {
+			v := blk.Op(spatial.OpAdd, spatial.External)
+			blk.WriteFrom(m, spatial.Affine(0, spatial.Term(i, 1)), v)
+			r := blk.Read(m, spatial.Affine(4, spatial.Term(i, 1)))
+			blk.Op(spatial.OpMul, r, r)
+		})
+	})
+	res := compile(t, b.MustBuild())
+	var haveSplit bool
+	for _, u := range res.G.LiveVUs() {
+		if strings.HasSuffix(u.Name, ".w") {
+			haveSplit = true
+		}
+	}
+	if !haveSplit {
+		t.Errorf("write-then-read block was not split:\n%s", res.G.Dump())
+	}
+	if err := res.G.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestLowerFIFODirectStream(t *testing.T) {
+	b := spatial.NewBuilder("fifo")
+	q := b.FIFO("q", 32)
+	b.For("i", 0, 16, 1, 1, func(i spatial.Iter) {
+		b.Block("w", func(blk *spatial.Block) {
+			v := blk.Op(spatial.OpAdd, spatial.External)
+			blk.WriteFrom(q, spatial.Streaming(), v)
+		})
+		b.Block("r", func(blk *spatial.Block) {
+			v := blk.Read(q, spatial.Streaming())
+			blk.Op(spatial.OpMul, v, v)
+		})
+	})
+	res := compile(t, b.MustBuild())
+	if res.G.Stats().VMUs != 0 {
+		t.Errorf("FIFO should not allocate a VMU")
+	}
+	var fifoEdge *dfg.Edge
+	for _, e := range res.G.LiveEdges() {
+		if strings.HasPrefix(e.Label, "fifo.") {
+			fifoEdge = e
+		}
+	}
+	if fifoEdge == nil {
+		t.Fatal("no direct FIFO stream edge")
+	}
+	if fifoEdge.Depth != 32 {
+		t.Errorf("FIFO depth = %d, want 32", fifoEdge.Depth)
+	}
+}
+
+func TestLowerDynBoundsGating(t *testing.T) {
+	b := spatial.NewBuilder("dyn")
+	b.ForDyn("rows", 100, 1,
+		func(blk *spatial.Block) { blk.Op(spatial.OpRand) },
+		func(i spatial.Iter) {
+			b.Block("body", func(blk *spatial.Block) { blk.OpChain(spatial.OpAdd, 2) })
+		})
+	res := compile(t, b.MustBuild())
+	var boundsVU *dfg.VU
+	for _, u := range res.G.LiveVUs() {
+		if u.Kind == dfg.VCUBounds {
+			boundsVU = u
+		}
+	}
+	if boundsVU == nil {
+		t.Fatal("no bounds unit")
+	}
+	found := false
+	for _, eid := range res.G.Out(boundsVU.ID) {
+		e := res.G.Edge(eid)
+		if strings.HasSuffix(e.Label, ".bounds") && e.PopCtrl != ir.NoCtrl {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("bounds stream with loop-level pop not found")
+	}
+}
+
+func TestLowerCountersOutermostFirst(t *testing.T) {
+	res := compile(t, producerConsumer(t, 1))
+	for _, u := range res.G.LiveVUs() {
+		if u.Name != "cons" {
+			continue
+		}
+		if len(u.Counters) != 2 {
+			t.Fatalf("counter chain = %d levels, want 2", len(u.Counters))
+		}
+		outer := res.G.Prog.Ctrl(u.Counters[0].Ctrl)
+		inner := res.G.Prog.Ctrl(u.Counters[1].Ctrl)
+		if outer.Name != "a" || inner.Name != "j" {
+			t.Errorf("counter order = [%s %s], want [a j]", outer.Name, inner.Name)
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package lower
+
+import (
+	"strings"
+
+	"sara/internal/consistency"
+	"sara/internal/dfg"
+	"sara/internal/ir"
+)
+
+// outermostLoopBelow returns the counter level that signals "one iteration of
+// scope completed" for a unit of block: the outermost loop strictly below
+// scope on block's ancestor path. NoCtrl means the unit fires once per scope
+// iteration, so tokens move per firing. This realizes the paper's "done of
+// the immediate child ancestor of the LCA" (§III-A1) in counter terms.
+func (l *lowerer) outermostLoopBelow(scope, block ir.CtrlID) ir.CtrlID {
+	level := ir.NoCtrl
+	for id := block; id != scope && id != ir.NoCtrl; id = l.prog.Ctrl(id).Parent {
+		if l.prog.Ctrl(id).IsLoop() {
+			level = id
+		}
+	}
+	return level
+}
+
+// wireControl adds the data-dependent control streams: branch-condition
+// broadcasts, dynamic loop bounds, do-while conditions (paper §III-A2), and
+// direct FIFO streams.
+func (l *lowerer) wireControl() {
+	for _, c := range l.prog.Ctrls {
+		switch c.Kind {
+		case ir.CtrlBranch:
+			l.wireBranch(c)
+		case ir.CtrlLoopDyn:
+			l.wireGate(c, c.ID, false)
+		case ir.CtrlWhile:
+			l.wireGate(c, c.ID, true)
+		}
+	}
+	l.wireFIFOs()
+}
+
+// wireBranch broadcasts the branch condition from each condition-unit
+// instance to every unit under the branch clauses (paper Fig 4b). One
+// condition value is consumed per completed clause execution.
+func (l *lowerer) wireBranch(c *ir.Ctrl) {
+	conds := l.condVUs[c.ID]
+	for _, ch := range c.Children {
+		child := l.prog.Ctrl(ch)
+		if child.Clause == ir.ClauseNone {
+			continue
+		}
+		for _, target := range l.ctrlVUs[ch] {
+			src := l.matchInstance(conds, target)
+			if src == dfg.NoVU || src == target {
+				continue
+			}
+			e := l.res.G.AddEdge(src, target, dfg.EData)
+			e.Lanes = 1
+			e.PopCtrl = l.outermostLoopBelow(c.ID, l.res.G.VU(target).Block)
+			e.Label = c.Name + ".cond"
+		}
+	}
+}
+
+// wireGate streams dynamic bounds (or do-while conditions) from the bounds
+// unit to every unit enclosed by the loop. For do-while loops the stream is a
+// loop-carried dependence seeded with one token so the first iteration starts
+// eagerly (paper §III-A2c).
+func (l *lowerer) wireGate(c *ir.Ctrl, loop ir.CtrlID, while bool) {
+	bounds := l.condVUs[c.ID]
+	boundsSet := map[dfg.VUID]bool{}
+	for _, b := range bounds {
+		boundsSet[b] = true
+	}
+	for _, target := range l.ctrlVUs[loop] {
+		if boundsSet[target] {
+			continue
+		}
+		src := l.matchInstance(bounds, target)
+		if src == dfg.NoVU || src == target {
+			continue
+		}
+		e := l.res.G.AddEdge(src, target, dfg.EData)
+		e.Lanes = 1
+		e.Label = c.Name + ".bounds"
+		if while {
+			// The condition is produced inside the loop, possibly from the
+			// body's own outputs: a cycle by construction. Seed it.
+			e.LCD = true
+			e.Init = 1
+			e.Label = c.Name + ".while"
+			e.PopCtrl = l.outermostLoopBelow(loop, l.res.G.VU(target).Block)
+		} else {
+			// A bound value is consumed every time the loop completes.
+			e.PopCtrl = loop
+		}
+	}
+}
+
+// matchInstance picks the unit in srcs whose instance path is a prefix of
+// target's: the producer instance that encloses the consumer in the unroll
+// tree.
+func (l *lowerer) matchInstance(srcs []dfg.VUID, target dfg.VUID) dfg.VUID {
+	tpath := l.res.G.VU(target).Instance
+	best := dfg.NoVU
+	bestLen := -1
+	for _, s := range srcs {
+		spath := l.res.G.VU(s).Instance
+		if strings.HasPrefix(tpath, spath) && len(spath) > bestLen {
+			best = s
+			bestLen = len(spath)
+		}
+	}
+	return best
+}
+
+// wireFIFOs connects FIFO writers directly to readers: FIFOs lower onto PU
+// input buffers, so there is no VMU and ordering is inherent.
+func (l *lowerer) wireFIFOs() {
+	for mem, fe := range l.fifoEnds {
+		m := l.prog.Mem(mem)
+		depth := int(m.Size())
+		if depth < 2 {
+			depth = 2
+		}
+		if l.instancesAligned(fe.writers, fe.readers) {
+			for i := range fe.writers {
+				l.addFIFOEdge(fe.writers[i], fe.readers[i], m.Name, depth)
+			}
+			continue
+		}
+		for _, w := range fe.writers {
+			for _, r := range fe.readers {
+				l.addFIFOEdge(w, r, m.Name, depth)
+			}
+		}
+	}
+}
+
+func (l *lowerer) addFIFOEdge(w, r dfg.VUID, name string, depth int) {
+	if w == r {
+		return
+	}
+	e := l.res.G.AddEdge(w, r, dfg.EData)
+	e.Lanes = min(l.res.G.VU(w).Lanes, l.res.G.VU(r).Lanes)
+	if e.Lanes < 1 {
+		e.Lanes = 1
+	}
+	e.Depth = depth
+	e.Label = "fifo." + name
+}
+
+// wireSync materializes the CMMC plan: one token (forward) or credit
+// (backward) stream per reduced dependence edge, from the source access's
+// response units to the destination access's request units (paper §III-A1).
+func (l *lowerer) wireSync() {
+	for _, mp := range l.plan.Mems {
+		if l.prog.Mem(mp.Mem).Kind == ir.MemFIFO {
+			continue // FIFO ordering is inherent in the stream
+		}
+		for _, d := range mp.Forward {
+			if d.IntraBlock {
+				// Realized by block splitting (write-then-read) or the
+				// block's own pipeline order.
+				continue
+			}
+			l.wireDep(d)
+		}
+		for _, d := range mp.Backward {
+			if d.IntraBlock && !l.splitBlocks(d) {
+				continue // same unit on both ends: nothing to wire
+			}
+			l.wireDep(d)
+		}
+	}
+}
+
+// splitBlocks reports whether an intra-block dependence spans the two halves
+// of a split block (so a real credit stream is needed between them).
+func (l *lowerer) splitBlocks(d consistency.Dep) bool {
+	blk := l.prog.Access(d.Src).Block
+	mem := l.prog.Access(d.Src).Mem
+	return l.splitW[blk] != nil && l.splitW[blk][mem]
+}
+
+// wireDep wires one dependence. When producer and consumer instance lists are
+// positionally aligned the tokens go point to point; otherwise a sync unit
+// collects one token from every source instance and broadcasts to every
+// destination instance.
+func (l *lowerer) wireDep(d consistency.Dep) {
+	srcs := l.res.AccessResp[d.Src]
+	dsts := l.res.AccessReq[d.Dst]
+	if len(srcs) == 0 || len(dsts) == 0 {
+		return
+	}
+	srcAcc, dstAcc := l.prog.Access(d.Src), l.prog.Access(d.Dst)
+	lca := l.prog.LCA(srcAcc.Block, dstAcc.Block)
+	push := l.outermostLoopBelow(lca, srcAcc.Block)
+	pop := l.outermostLoopBelow(lca, dstAcc.Block)
+
+	mk := func(src, dst dfg.VUID, init int, lcd bool) {
+		if src == dst {
+			return
+		}
+		e := l.res.G.AddEdge(src, dst, dfg.EToken)
+		e.PushCtrl = push
+		e.PopCtrl = pop
+		e.Init = init
+		e.LCD = lcd
+		e.Label = d.String()
+		l.res.SyncEdges = append(l.res.SyncEdges, e.ID)
+	}
+
+	if l.instancesAligned(srcs, dsts) {
+		for i := range srcs {
+			mk(srcs[i], dsts[i], d.Init, d.Backward)
+		}
+		return
+	}
+	sync := l.res.G.AddVU(dfg.VCUSync, "sync."+d.String())
+	sync.Lanes = 1
+	for _, s := range srcs {
+		e := l.res.G.AddEdge(s, sync.ID, dfg.EToken)
+		e.PushCtrl = push
+		e.LCD = d.Backward
+		if d.Backward {
+			e.Init = d.Init
+		}
+		e.Label = d.String() + ".in"
+	}
+	for _, dst := range dsts {
+		e := l.res.G.AddEdge(sync.ID, dst, dfg.EToken)
+		e.PopCtrl = pop
+		e.Init = d.Init
+		e.LCD = d.Backward
+		if !d.Backward {
+			e.Init = 0
+		}
+		e.Label = d.String() + ".out"
+	}
+}

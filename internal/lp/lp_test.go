@@ -1,0 +1,173 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-5 }
+
+func TestSimpleLE(t *testing.T) {
+	// max x+y s.t. x+2y<=4, 3x+y<=6  -> minimize -(x+y).
+	p := NewProblem(2)
+	p.SetObj(0, -1)
+	p.SetObj(1, -1)
+	p.AddConstraint([]int{0, 1}, []float64{1, 2}, LE, 4)
+	p.AddConstraint([]int{0, 1}, []float64{3, 1}, LE, 6)
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	// Optimum at intersection: x=1.6, y=1.2, obj=-2.8.
+	if !approx(s.Obj, -2.8) {
+		t.Errorf("obj = %v, want -2.8 (x=%v)", s.Obj, s.X)
+	}
+}
+
+func TestEqualityAndGE(t *testing.T) {
+	// min 2x+3y s.t. x+y=10, x>=3, y>=2.
+	p := NewProblem(2)
+	p.SetObj(0, 2)
+	p.SetObj(1, 3)
+	p.AddConstraint([]int{0, 1}, []float64{1, 1}, EQ, 10)
+	p.AddConstraint([]int{0}, []float64{1}, GE, 3)
+	p.AddConstraint([]int{1}, []float64{1}, GE, 2)
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	// Push x as high as possible: x=8, y=2, obj=22.
+	if !approx(s.Obj, 22) || !approx(s.X[0], 8) || !approx(s.X[1], 2) {
+		t.Errorf("got obj=%v x=%v, want 22 at (8,2)", s.Obj, s.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.AddConstraint([]int{0}, []float64{1}, LE, 1)
+	p.AddConstraint([]int{0}, []float64{1}, GE, 2)
+	s, err := p.Solve()
+	if err == nil || s.Status != Infeasible {
+		t.Fatalf("want infeasible, got %v / %v", s.Status, err)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem(1)
+	p.SetObj(0, -1) // maximize x with no upper bound
+	s, err := p.Solve()
+	if err == nil || s.Status != Unbounded {
+		t.Fatalf("want unbounded, got %v / %v", s.Status, err)
+	}
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// -x <= -3  means x >= 3; min x -> 3.
+	p := NewProblem(1)
+	p.SetObj(0, 1)
+	p.AddConstraint([]int{0}, []float64{-1}, LE, -3)
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if !approx(s.X[0], 3) {
+		t.Errorf("x = %v, want 3", s.X[0])
+	}
+}
+
+func TestDegenerateProblem(t *testing.T) {
+	// Classic degenerate vertex: several constraints meet at the optimum.
+	p := NewProblem(2)
+	p.SetObj(0, -1)
+	p.SetObj(1, -1)
+	p.AddConstraint([]int{0, 1}, []float64{1, 1}, LE, 1)
+	p.AddConstraint([]int{0}, []float64{1}, LE, 1)
+	p.AddConstraint([]int{1}, []float64{1}, LE, 1)
+	p.AddConstraint([]int{0, 1}, []float64{1, 2}, LE, 2)
+	p.AddConstraint([]int{0, 1}, []float64{2, 1}, LE, 2)
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if !approx(s.Obj, -1) {
+		t.Errorf("obj = %v, want -1", s.Obj)
+	}
+}
+
+func TestZeroObjectiveFeasibility(t *testing.T) {
+	// Pure feasibility: x+y >= 2, x,y <= 5.
+	p := NewProblem(2)
+	p.AddConstraint([]int{0, 1}, []float64{1, 1}, GE, 2)
+	p.AddConstraint([]int{0}, []float64{1}, LE, 5)
+	p.AddConstraint([]int{1}, []float64{1}, LE, 5)
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if s.X[0]+s.X[1] < 2-1e-6 {
+		t.Errorf("solution %v violates x+y>=2", s.X)
+	}
+}
+
+// TestRandomLPsAgainstBruteForce cross-checks the simplex optimum against a
+// dense grid search on random small LPs with bounded feasible regions.
+func TestRandomLPsAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		// Two variables in [0, 10], three random <= constraints that keep the
+		// box feasible (non-negative coefficients, positive rhs).
+		p := NewProblem(2)
+		c := []float64{rng.Float64()*4 - 2, rng.Float64()*4 - 2}
+		p.SetObj(0, c[0])
+		p.SetObj(1, c[1])
+		type row struct {
+			a, b, rhs float64
+		}
+		var rows []row
+		p.AddConstraint([]int{0}, []float64{1}, LE, 10)
+		p.AddConstraint([]int{1}, []float64{1}, LE, 10)
+		rows = append(rows, row{1, 0, 10}, row{0, 1, 10})
+		for k := 0; k < 3; k++ {
+			r := row{rng.Float64(), rng.Float64(), 2 + rng.Float64()*8}
+			rows = append(rows, r)
+			p.AddConstraint([]int{0, 1}, []float64{r.a, r.b}, LE, r.rhs)
+		}
+		s, err := p.Solve()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Grid search.
+		best := math.Inf(1)
+		for xi := 0; xi <= 200; xi++ {
+			for yi := 0; yi <= 200; yi++ {
+				x, y := float64(xi)*0.05, float64(yi)*0.05
+				ok := true
+				for _, r := range rows {
+					if r.a*x+r.b*y > r.rhs+1e-9 {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					if v := c[0]*x + c[1]*y; v < best {
+						best = v
+					}
+				}
+			}
+		}
+		if s.Obj > best+1e-4 {
+			t.Errorf("trial %d: simplex obj %v worse than grid %v", trial, s.Obj, best)
+		}
+		if s.Obj < best-0.2 {
+			// Grid granularity is 0.05; allow slack but catch big errors.
+			t.Errorf("trial %d: simplex obj %v implausibly better than grid %v", trial, s.Obj, best)
+		}
+		// Verify feasibility of the returned point.
+		for _, r := range rows {
+			if r.a*s.X[0]+r.b*s.X[1] > r.rhs+1e-6 {
+				t.Errorf("trial %d: solution %v infeasible", trial, s.X)
+			}
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package lp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomBoundedLP builds a random LP whose feasible region is a non-empty
+// bounded polytope (box + random ≤ cuts with non-negative coefficients).
+func randomBoundedLP(rng *rand.Rand) (*Problem, [][4]float64, []float64) {
+	nv := 2 + rng.Intn(2) // 2 or 3 variables; row arrays hold 3 coefs + rhs
+	p := NewProblem(nv)
+	c := make([]float64, nv)
+	var rowsBox [][4]float64
+	for i := range c {
+		c[i] = rng.Float64()*4 - 2
+		p.SetObj(i, c[i])
+		ub := 5 + rng.Float64()*5
+		p.AddConstraint([]int{i}, []float64{1}, LE, ub)
+		var row [4]float64
+		row[i] = 1
+		row[3] = ub
+		rowsBox = append(rowsBox, row)
+	}
+	rows := rowsBox // a0,a1,a2,rhs with zero padding; box rows included
+	for k := 0; k < 2+rng.Intn(3); k++ {
+		var row [4]float64
+		idx := make([]int, nv)
+		coef := make([]float64, nv)
+		for i := 0; i < nv; i++ {
+			idx[i] = i
+			coef[i] = rng.Float64()
+			row[i] = coef[i]
+		}
+		row[3] = 1 + rng.Float64()*10
+		rows = append(rows, row)
+		p.AddConstraint(idx, coef, LE, row[3])
+	}
+	return p, rows, c
+}
+
+// TestQuickSolutionsFeasibleAndOptimalish: every returned solution satisfies
+// all constraints, and no random feasible sample beats the reported optimum.
+func TestQuickSolutionsFeasibleAndOptimalish(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, rows, c := randomBoundedLP(rng)
+		nv := p.NumVars()
+		s, err := p.Solve()
+		if err != nil {
+			return false // bounded non-empty region: must solve
+		}
+		// Feasibility.
+		for i := 0; i < nv; i++ {
+			if s.X[i] < -1e-6 {
+				return false
+			}
+		}
+		for _, r := range rows {
+			lhs := 0.0
+			for i := 0; i < nv; i++ {
+				lhs += r[i] * s.X[i]
+			}
+			if lhs > r[3]+1e-6 {
+				return false
+			}
+		}
+		// No sampled feasible point may beat the optimum.
+		for trial := 0; trial < 50; trial++ {
+			x := make([]float64, nv)
+			ok := true
+			for i := range x {
+				x[i] = rng.Float64() * 10
+			}
+			for _, r := range rows {
+				lhs := 0.0
+				for i := 0; i < nv; i++ {
+					lhs += r[i] * x[i]
+				}
+				if lhs > r[3] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			obj := 0.0
+			for i := range x {
+				obj += c[i] * x[i]
+			}
+			if obj < s.Obj-1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickScalingInvariance: scaling a constraint row by a positive factor
+// must not change the optimum (within tolerance).
+func TestQuickScalingInvariance(t *testing.T) {
+	f := func(seed int64, scaleRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		scale := 0.5 + float64(scaleRaw%40)/10
+		build := func(mult float64) *Problem {
+			r := rand.New(rand.NewSource(seed))
+			nv := 2
+			p := NewProblem(nv)
+			p.SetObj(0, -(1 + r.Float64()))
+			p.SetObj(1, -(1 + r.Float64()))
+			a, b2, rhs := 0.5+r.Float64(), 0.5+r.Float64(), 2+r.Float64()*6
+			p.AddConstraint([]int{0, 1}, []float64{a * mult, b2 * mult}, LE, rhs*mult)
+			p.AddConstraint([]int{0}, []float64{1}, LE, 10)
+			p.AddConstraint([]int{1}, []float64{1}, LE, 10)
+			return p
+		}
+		_ = rng
+		s1, err1 := build(1).Solve()
+		s2, err2 := build(scale).Solve()
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		d := s1.Obj - s2.Obj
+		if d < 0 {
+			d = -d
+		}
+		return d < 1e-5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

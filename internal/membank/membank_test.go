@@ -1,0 +1,233 @@
+package membank
+
+import (
+	"math/rand"
+	"testing"
+
+	"sara/internal/arch"
+	"sara/internal/consistency"
+	"sara/internal/dfg"
+	"sara/internal/lower"
+	"sara/spatial"
+)
+
+// unrolledReaders builds a program whose consumer loop is spatially unrolled
+// par ways, producing par read request streams against one SRAM.
+func unrolledReaders(t *testing.T, par int, random bool) *lower.Result {
+	t.Helper()
+	b := spatial.NewBuilder("bank")
+	x := b.DRAM("x", 1<<20)
+	tile := b.SRAM("tile", 4096)
+	b.For("a", 0, 4, 1, 1, func(a spatial.Iter) {
+		b.For("i", 0, 4096, 1, 1, func(i spatial.Iter) {
+			b.Block("prod", func(blk *spatial.Block) {
+				v := blk.Read(x, spatial.Streaming())
+				blk.WriteFrom(tile, spatial.Affine(0, spatial.Term(i, 1)), v)
+			})
+		})
+		// Outer loop unrolled: 'par' spatial copies of the reader.
+		b.For("j", 0, 256, 1, par, func(j spatial.Iter) {
+			b.For("k", 0, 16, 1, 1, func(k spatial.Iter) {
+				b.Block("cons", func(blk *spatial.Block) {
+					pat := spatial.Affine(0, spatial.Term(j, 16), spatial.Term(k, 1))
+					if random {
+						pat = spatial.Random()
+					}
+					v := blk.Read(tile, pat)
+					blk.Op(spatial.OpMul, v, v)
+				})
+			})
+		})
+	})
+	p := b.MustBuild()
+	plan := consistency.Analyze(p, consistency.Options{})
+	res, err := lower.Lower(p, plan, arch.SARA20x20(), lower.Options{})
+	if err != nil {
+		t.Fatalf("Lower: %v", err)
+	}
+	return res
+}
+
+func countBanks(g *dfg.Graph) int {
+	n := 0
+	for _, u := range g.LiveVUs() {
+		if u.Kind == dfg.VMU && u.Bank >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func TestBankingScalesWithUnroll(t *testing.T) {
+	res := unrolledReaders(t, 4, false)
+	st, err := Apply(res.G, arch.SARA20x20(), Options{})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if st.BankedMems != 1 {
+		t.Fatalf("banked mems = %d, want 1", st.BankedMems)
+	}
+	if st.BanksCreated != 4 {
+		t.Errorf("banks = %d, want 4 (one per unrolled reader stream)", st.BanksCreated)
+	}
+	if got := countBanks(res.G); got != 4 {
+		t.Errorf("live bank VMUs = %d, want 4", got)
+	}
+}
+
+func TestStaticBAAvoidsCrossbarForAlignedWrites(t *testing.T) {
+	// With affine patterns at least one accessor (the one whose instance
+	// count matches the bank count) should go point-to-point... here the
+	// reader has 4 instances = 4 banks: point-to-point; the single-writer
+	// port needs a crossbar (1 producer, 4 banks).
+	res := unrolledReaders(t, 4, false)
+	st, err := Apply(res.G, arch.SARA20x20(), Options{})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if st.PointToPoint == 0 {
+		t.Error("expected at least one bank-aligned point-to-point stream")
+	}
+	if st.Crossbars == 0 {
+		t.Error("expected the single-writer port to need a crossbar")
+	}
+}
+
+func TestRandomPatternForcesCrossbar(t *testing.T) {
+	res := unrolledReaders(t, 4, true)
+	st, err := Apply(res.G, arch.SARA20x20(), Options{})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if st.PointToPoint != 0 {
+		t.Errorf("random BA must not wire point-to-point, got %d", st.PointToPoint)
+	}
+	if st.MergeVUs == 0 {
+		t.Error("expected merge units for the crossbar")
+	}
+}
+
+func TestCapacityBanking(t *testing.T) {
+	// 256K-element SRAM exceeds one PMU's 64K: needs 4 banks even without
+	// parallel readers.
+	b := spatial.NewBuilder("cap")
+	big := b.SRAM("big", 256*1024)
+	b.For("i", 0, 1024, 1, 1, func(i spatial.Iter) {
+		b.Block("w", func(blk *spatial.Block) {
+			blk.Write(big, spatial.Affine(0, spatial.Term(i, 1)))
+		})
+		b.Block("r", func(blk *spatial.Block) {
+			blk.Read(big, spatial.Affine(0, spatial.Term(i, 1)))
+		})
+	})
+	p := b.MustBuild()
+	plan := consistency.Analyze(p, consistency.Options{})
+	res, err := lower.Lower(p, plan, arch.SARA20x20(), lower.Options{})
+	if err != nil {
+		t.Fatalf("Lower: %v", err)
+	}
+	st, err := Apply(res.G, arch.SARA20x20(), Options{})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	// CMMC double-buffers the memory (relaxed W~>R credit), so the footprint
+	// is 512K elements over 64K-element PMUs: 8 banks.
+	if st.BanksCreated != 8 {
+		t.Errorf("banks = %d, want 8 (256K x 2 buffers / 64K)", st.BanksCreated)
+	}
+	// Per-bank capacity must fit a PMU.
+	for _, u := range res.G.LiveVUs() {
+		if u.Kind == dfg.VMU && u.CapacityElems > arch.SARA20x20().PMU.ScratchElems {
+			t.Errorf("bank %s capacity %d exceeds PMU scratch", u.Name, u.CapacityElems)
+		}
+	}
+}
+
+func TestDisableBankingErrorsOnOversized(t *testing.T) {
+	b := spatial.NewBuilder("cap2")
+	big := b.SRAM("big", 256*1024)
+	b.For("i", 0, 16, 1, 1, func(i spatial.Iter) {
+		b.Block("w", func(blk *spatial.Block) {
+			blk.Write(big, spatial.Affine(0, spatial.Term(i, 1)))
+		})
+	})
+	p := b.MustBuild()
+	plan := consistency.Analyze(p, consistency.Options{})
+	res, err := lower.Lower(p, plan, arch.SARA20x20(), lower.Options{})
+	if err != nil {
+		t.Fatalf("Lower: %v", err)
+	}
+	if _, err := Apply(res.G, arch.SARA20x20(), Options{DisableBanking: true}); err == nil {
+		t.Fatal("expected capacity error with banking disabled")
+	}
+}
+
+func TestNoBankingWhenUnneeded(t *testing.T) {
+	res := unrolledReaders(t, 1, false)
+	st, err := Apply(res.G, arch.SARA20x20(), Options{})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if st.BankedMems != 0 {
+		t.Errorf("single-stream small memory should not bank, got %d", st.BankedMems)
+	}
+}
+
+// TestQuickBankingInvariants property-checks the memory partitioner over
+// random unroll factors and capacities: after banking, no bank exceeds the
+// PMU scratchpad, the graph stays valid, and every original VMU either
+// stayed whole or was fully replaced by its banks.
+func TestQuickBankingInvariants(t *testing.T) {
+	spec := arch.SARA20x20()
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		par := 1 << rng.Intn(4) // readers 1..8 (x16 lanes)
+		memSize := 1 << (8 + rng.Intn(10))
+		b := spatial.NewBuilder("qbank")
+		x := b.DRAM("x", 1<<22)
+		tile := b.SRAM("tile", memSize)
+		b.For("a", 0, 2, 1, 1, func(a spatial.Iter) {
+			b.For("i", 0, memSize, 1, 16, func(i spatial.Iter) {
+				b.Block("w", func(blk *spatial.Block) {
+					v := blk.Read(x, spatial.Streaming())
+					blk.WriteFrom(tile, spatial.Affine(0, spatial.Term(i, 1)), v)
+				})
+			})
+			b.For("j", 0, maxiT(memSize/16, 1), 1, par, func(j spatial.Iter) {
+				b.For("k", 0, 16, 1, 1, func(k spatial.Iter) {
+					b.Block("r", func(blk *spatial.Block) {
+						v := blk.Read(tile, spatial.Affine(0, spatial.Term(j, 16), spatial.Term(k, 1)))
+						blk.Accum(v)
+					})
+				})
+			})
+		})
+		p := b.MustBuild()
+		plan := consistency.Analyze(p, consistency.Options{})
+		res, err := lower.Lower(p, plan, spec, lower.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: Lower: %v", seed, err)
+		}
+		if _, err := Apply(res.G, spec, Options{}); err != nil {
+			t.Fatalf("seed %d: Apply: %v", seed, err)
+		}
+		if err := res.G.Validate(); err != nil {
+			t.Fatalf("seed %d: graph invalid after banking: %v", seed, err)
+		}
+		for _, u := range res.G.LiveVUs() {
+			if u.Kind != dfg.VMU {
+				continue
+			}
+			if u.CapacityElems > spec.PMU.ScratchElems {
+				t.Fatalf("seed %d: bank %s capacity %d exceeds PMU", seed, u.Name, u.CapacityElems)
+			}
+		}
+	}
+}
+
+func maxiT(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

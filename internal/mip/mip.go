@@ -1,0 +1,388 @@
+// Package mip implements a 0-1 / integer branch-and-bound solver on top of
+// the package lp simplex. It is the stand-in for the commercial MIP solver
+// (Gurobi) the paper uses for solver-based compute partitioning and global
+// merging (paper §III-B1d, §IV-B): it supports warm starts from the
+// traversal-based heuristic, a relative optimality-gap stop (the paper uses
+// 15%), and node/time limits.
+//
+// The solver minimizes. Branching picks the most fractional integer variable;
+// node selection is best-first on the LP relaxation bound, which makes the
+// reported bound a true global lower bound at every point.
+package mip
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"sara/internal/lp"
+)
+
+// Rel re-exports the constraint relations for callers.
+type Rel = lp.Rel
+
+// Constraint relations.
+const (
+	LE = lp.LE
+	GE = lp.GE
+	EQ = lp.EQ
+)
+
+// Problem is a mixed-integer program under construction. All variables are
+// bounded below by zero; integer variables default to an upper bound of 1
+// (binary) unless SetUpper raises it.
+type Problem struct {
+	n       int
+	obj     []float64
+	rowIdx  [][]int
+	rowCoef [][]float64
+	rowRel  []Rel
+	rowRHS  []float64
+	integer []bool
+	upper   []float64
+}
+
+// NewProblem returns a MIP with n continuous non-negative variables.
+func NewProblem(n int) *Problem {
+	up := make([]float64, n)
+	for i := range up {
+		up[i] = math.Inf(1)
+	}
+	return &Problem{n: n, obj: make([]float64, n), integer: make([]bool, n), upper: up}
+}
+
+// NumVars returns the variable count.
+func (p *Problem) NumVars() int { return p.n }
+
+// SetObj sets the minimization objective coefficient of variable i.
+func (p *Problem) SetObj(i int, v float64) { p.obj[i] = v }
+
+// AddObj adds v to the objective coefficient of variable i.
+func (p *Problem) AddObj(i int, v float64) { p.obj[i] += v }
+
+// SetBinary marks variable i as 0-1.
+func (p *Problem) SetBinary(i int) {
+	p.integer[i] = true
+	p.upper[i] = 1
+}
+
+// SetInteger marks variable i as integral (keeping its current bounds).
+func (p *Problem) SetInteger(i int) { p.integer[i] = true }
+
+// SetUpper bounds variable i above by v.
+func (p *Problem) SetUpper(i int, v float64) { p.upper[i] = v }
+
+// AddConstraint appends the sparse row Σ coef[k]·x[idx[k]] rel rhs.
+func (p *Problem) AddConstraint(idx []int, coef []float64, rel Rel, rhs float64) {
+	if len(idx) != len(coef) {
+		panic("mip: index/coefficient length mismatch")
+	}
+	p.rowIdx = append(p.rowIdx, idx)
+	p.rowCoef = append(p.rowCoef, coef)
+	p.rowRel = append(p.rowRel, rel)
+	p.rowRHS = append(p.rowRHS, rhs)
+}
+
+// Status reports how a solve ended.
+type Status int
+
+const (
+	// Optimal: proven optimal (or within the requested gap).
+	Optimal Status = iota
+	// Feasible: a limit stopped the search with an incumbent in hand.
+	Feasible
+	// Infeasible: no integer-feasible point exists.
+	Infeasible
+	// Limit: a limit stopped the search with no incumbent.
+	Limit
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Feasible:
+		return "feasible"
+	case Infeasible:
+		return "infeasible"
+	case Limit:
+		return "limit"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Options tunes the search.
+type Options struct {
+	// Gap is the relative optimality gap at which to stop (0 = prove
+	// optimality). The paper's methodology uses 0.15.
+	Gap float64
+	// MaxNodes caps explored branch-and-bound nodes (0 = 1e6).
+	MaxNodes int
+	// TimeLimit caps wall-clock search time (0 = none).
+	TimeLimit time.Duration
+	// WarmStart seeds the incumbent with a known feasible point (the
+	// traversal-based partitioning solution in the paper). Ignored when
+	// infeasible for the problem.
+	WarmStart []float64
+}
+
+// Solution is a solve result.
+type Solution struct {
+	Status Status
+	X      []float64
+	Obj    float64
+	// Bound is the proven global lower bound on the optimum.
+	Bound float64
+	// Gap is the final relative gap between Obj and Bound.
+	Gap float64
+	// Nodes is the number of branch-and-bound nodes explored.
+	Nodes int
+}
+
+// ErrInfeasible is returned when no integer-feasible point exists.
+var ErrInfeasible = errors.New("mip: infeasible")
+
+const intTol = 1e-6
+
+type node struct {
+	bound float64
+	lo    map[int]float64
+	hi    map[int]float64
+}
+
+type nodeHeap []*node
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].bound < h[j].bound }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*node)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Solve runs best-first branch and bound.
+func (p *Problem) Solve(opts Options) (*Solution, error) {
+	if opts.MaxNodes <= 0 {
+		opts.MaxNodes = 1_000_000
+	}
+	deadline := time.Time{}
+	if opts.TimeLimit > 0 {
+		deadline = time.Now().Add(opts.TimeLimit)
+	}
+
+	best := math.Inf(1)
+	var bestX []float64
+	if opts.WarmStart != nil && p.feasible(opts.WarmStart) {
+		best = p.objValue(opts.WarmStart)
+		bestX = append([]float64(nil), opts.WarmStart...)
+	}
+
+	h := &nodeHeap{{bound: math.Inf(-1), lo: map[int]float64{}, hi: map[int]float64{}}}
+	heap.Init(h)
+	nodes := 0
+	rootBound := math.Inf(-1)
+	haveRoot := false
+
+	for h.Len() > 0 {
+		if nodes >= opts.MaxNodes || (!deadline.IsZero() && time.Now().After(deadline)) {
+			break
+		}
+		nd := heap.Pop(h).(*node)
+		// Global bound: best-first means the popped node's bound is the
+		// global lower bound among open nodes.
+		globalBound := nd.bound
+		if !haveRoot {
+			globalBound = math.Inf(-1)
+		}
+		if bestX != nil && gapOK(best, globalBound, opts.Gap) {
+			return p.finish(Optimal, bestX, best, globalBound, nodes), nil
+		}
+		if nd.bound >= best-1e-9 {
+			continue // cannot improve
+		}
+		nodes++
+
+		sol, err := p.solveRelaxation(nd)
+		if err != nil {
+			continue // infeasible subproblem
+		}
+		if !haveRoot {
+			rootBound = sol.Obj
+			haveRoot = true
+		}
+		if sol.Obj >= best-1e-9 {
+			continue
+		}
+		branchVar := p.mostFractional(sol.X)
+		if branchVar < 0 {
+			// Integer feasible.
+			if sol.Obj < best {
+				best = sol.Obj
+				bestX = roundInts(sol.X, p.integer)
+			}
+			continue
+		}
+		v := sol.X[branchVar]
+		down := &node{bound: sol.Obj, lo: copyMap(nd.lo), hi: copyMap(nd.hi)}
+		down.hi[branchVar] = math.Floor(v)
+		up := &node{bound: sol.Obj, lo: copyMap(nd.lo), hi: copyMap(nd.hi)}
+		up.lo[branchVar] = math.Ceil(v)
+		heap.Push(h, down)
+		heap.Push(h, up)
+	}
+
+	bound := rootBound
+	if h.Len() > 0 {
+		bound = (*h)[0].bound
+	} else if bestX != nil {
+		bound = best
+	}
+	if bestX == nil {
+		if h.Len() == 0 && nodes > 0 {
+			return p.finish(Infeasible, nil, math.Inf(1), bound, nodes), ErrInfeasible
+		}
+		return p.finish(Limit, nil, math.Inf(1), bound, nodes), errors.New("mip: limit reached without incumbent")
+	}
+	status := Feasible
+	if h.Len() == 0 || gapOK(best, bound, opts.Gap) {
+		status = Optimal
+	}
+	return p.finish(status, bestX, best, bound, nodes), nil
+}
+
+func (p *Problem) finish(st Status, x []float64, obj, bound float64, nodes int) *Solution {
+	g := 0.0
+	if x != nil {
+		g = relGap(obj, bound)
+	}
+	return &Solution{Status: st, X: x, Obj: obj, Bound: bound, Gap: g, Nodes: nodes}
+}
+
+func gapOK(incumbent, bound, gap float64) bool {
+	return relGap(incumbent, bound) <= gap+1e-12
+}
+
+func relGap(incumbent, bound float64) float64 {
+	if math.IsInf(bound, -1) {
+		return math.Inf(1)
+	}
+	d := incumbent - bound
+	if d <= 0 {
+		return 0
+	}
+	den := math.Max(math.Abs(incumbent), 1)
+	return d / den
+}
+
+// solveRelaxation builds and solves the LP relaxation with the node's bounds.
+func (p *Problem) solveRelaxation(nd *node) (*lp.Solution, error) {
+	q := lp.NewProblem(p.n)
+	for i, v := range p.obj {
+		if v != 0 {
+			q.SetObj(i, v)
+		}
+	}
+	for r := range p.rowIdx {
+		q.AddConstraint(p.rowIdx[r], p.rowCoef[r], p.rowRel[r], p.rowRHS[r])
+	}
+	for i := 0; i < p.n; i++ {
+		hi := p.upper[i]
+		if v, ok := nd.hi[i]; ok && v < hi {
+			hi = v
+		}
+		if !math.IsInf(hi, 1) {
+			q.AddConstraint([]int{i}, []float64{1}, lp.LE, hi)
+		}
+		if v, ok := nd.lo[i]; ok && v > 0 {
+			q.AddConstraint([]int{i}, []float64{1}, lp.GE, v)
+		}
+	}
+	return q.Solve()
+}
+
+// mostFractional returns the integer variable farthest from integrality, or
+// -1 when the point is integer feasible.
+func (p *Problem) mostFractional(x []float64) int {
+	best, bestFrac := -1, intTol
+	for i, isInt := range p.integer {
+		if !isInt {
+			continue
+		}
+		f := math.Abs(x[i] - math.Round(x[i]))
+		if f > bestFrac {
+			best, bestFrac = i, f
+		}
+	}
+	return best
+}
+
+func roundInts(x []float64, integer []bool) []float64 {
+	out := append([]float64(nil), x...)
+	for i, isInt := range integer {
+		if isInt {
+			out[i] = math.Round(out[i])
+		}
+	}
+	return out
+}
+
+func copyMap(m map[int]float64) map[int]float64 {
+	out := make(map[int]float64, len(m)+1)
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// feasible checks a candidate point against all rows, bounds, and
+// integrality.
+func (p *Problem) feasible(x []float64) bool {
+	if len(x) != p.n {
+		return false
+	}
+	for i, v := range x {
+		if v < -intTol || v > p.upper[i]+intTol {
+			return false
+		}
+		if p.integer[i] && math.Abs(v-math.Round(v)) > intTol {
+			return false
+		}
+	}
+	for r := range p.rowIdx {
+		s := 0.0
+		for k, idx := range p.rowIdx[r] {
+			s += p.rowCoef[r][k] * x[idx]
+		}
+		switch p.rowRel[r] {
+		case lp.LE:
+			if s > p.rowRHS[r]+1e-6 {
+				return false
+			}
+		case lp.GE:
+			if s < p.rowRHS[r]-1e-6 {
+				return false
+			}
+		case lp.EQ:
+			if math.Abs(s-p.rowRHS[r]) > 1e-6 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (p *Problem) objValue(x []float64) float64 {
+	s := 0.0
+	for i, v := range x {
+		s += p.obj[i] * v
+	}
+	return s
+}

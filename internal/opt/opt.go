@@ -1,0 +1,301 @@
+// Package opt implements SARA's performance and resource optimizations
+// (paper §III-C):
+//
+//   - msr (memory strength reduction): replaces a scratchpad whose accessors
+//     all use constant or streaming addresses with a direct PU-input-FIFO
+//     stream between producer and consumer, deleting the VMU and its
+//     request/response satellites.
+//   - rtelm (route-through elimination): removes copy units that only move a
+//     memory's content into another memory when reader and writer operate in
+//     lock-step.
+//   - retime: materializes retiming buffers on cross-partition edges whose
+//     delay imbalance exceeds the input buffer depth, restoring
+//     full-throughput pipelining (paper §III-B1a). Without it the recorded
+//     Slack stalls the simulated pipeline.
+//   - retime-m: implements retiming buffers with PMU scratchpads instead of
+//     chains of compute-unit registers, trading many PCU-class units for few
+//     PMU-class ones.
+//   - xbar-elm: duplicates bank-address computation at the consumer instead
+//     of forwarding it through response merge trees, deleting the trees at
+//     the cost of one extra op per consumer.
+//
+// Each optimization is independently toggleable; the Fig 10 ablation flips
+// them one at a time.
+package opt
+
+import (
+	"fmt"
+
+	"sara/internal/arch"
+	"sara/internal/dfg"
+	"sara/internal/ir"
+)
+
+// Options selects which optimizations run.
+type Options struct {
+	MSR       bool
+	RtElm     bool
+	Retime    bool
+	RetimeMem bool
+	XbarElm   bool
+}
+
+// All returns every optimization enabled (the paper's default configuration).
+func All() Options {
+	return Options{MSR: true, RtElm: true, Retime: true, RetimeMem: true, XbarElm: true}
+}
+
+// None returns every optimization disabled.
+func None() Options { return Options{} }
+
+// Stats reports what the pass changed.
+type Stats struct {
+	MSRConverted   int // VMUs demoted to direct streams
+	RouteThroughs  int // copy units eliminated
+	RetimeVUs      int // retiming units inserted
+	RetimeScratch  int // of which scratch-based (retime-m)
+	XbarEliminated int // response merge units removed by BA duplication
+}
+
+// ApplyEarly runs the graph-shrinking optimizations (msr, rtelm). It should
+// run after lowering and before memory banking.
+func ApplyEarly(g *dfg.Graph, opts Options, st *Stats) error {
+	if opts.MSR {
+		applyMSR(g, st)
+	}
+	if opts.RtElm {
+		applyRtElm(g, st)
+	}
+	if err := g.Validate(); err != nil {
+		return fmt.Errorf("opt: graph invalid after early optimizations: %w", err)
+	}
+	return nil
+}
+
+// ApplyLate runs the optimizations that depend on banking and partitioning
+// (retime, retime-m, xbar-elm). It should run after compute partitioning and
+// before global merging.
+func ApplyLate(g *dfg.Graph, spec *arch.Spec, opts Options, st *Stats) error {
+	if opts.XbarElm {
+		applyXbarElm(g, st)
+	}
+	if opts.Retime {
+		applyRetime(g, spec, opts.RetimeMem, st)
+	}
+	if err := g.Validate(); err != nil {
+		return fmt.Errorf("opt: graph invalid after late optimizations: %w", err)
+	}
+	return nil
+}
+
+// applyMSR finds VMUs with exactly one write port and one read port whose
+// address patterns are constant or streaming, and replaces the round trip
+// with a direct stream (paper §III-C a).
+func applyMSR(g *dfg.Graph, st *Stats) {
+	for _, u := range g.LiveVUs() {
+		if u.Kind != dfg.VMU || u.Bank >= 0 {
+			continue
+		}
+		m := g.Prog.Mem(u.Mem)
+		if m.Kind != ir.MemSRAM && m.Kind != ir.MemReg {
+			continue
+		}
+		if len(m.Accessors) != 2 {
+			continue
+		}
+		var w, r *ir.Access
+		ok := true
+		for _, aid := range m.Accessors {
+			a := g.Prog.Access(aid)
+			if a.Pat.Kind != ir.PatConstant && a.Pat.Kind != ir.PatStreaming {
+				ok = false
+				break
+			}
+			if a.Dir == ir.Write {
+				w = a
+			} else {
+				r = a
+			}
+		}
+		if !ok || w == nil || r == nil {
+			continue
+		}
+		// Locate the plumbing: producer -> reqW -> vmu -> consumer, plus the
+		// ack/response unit. Single-instance only (unrolled instances keep
+		// their VMU for banking).
+		var reqW, respW, reqR, producer, consumer dfg.VUID = dfg.NoVU, dfg.NoVU, dfg.NoVU, dfg.NoVU, dfg.NoVU
+		var lanes, depth int
+		for _, eid := range g.In(u.ID) {
+			e := g.Edge(eid)
+			src := g.VU(e.Src)
+			if src == nil || src.Kind != dfg.VCURequest {
+				continue
+			}
+			if src.Acc == w.ID {
+				if reqW != dfg.NoVU {
+					ok = false // multiple write instances
+				}
+				reqW = e.Src
+				lanes = e.Lanes
+			}
+			if src.Acc == r.ID {
+				if reqR != dfg.NoVU {
+					ok = false
+				}
+				reqR = e.Src
+			}
+		}
+		for _, eid := range g.Out(u.ID) {
+			e := g.Edge(eid)
+			dst := g.VU(e.Dst)
+			if dst == nil {
+				continue
+			}
+			if dst.Kind == dfg.VCUResponse && dst.Acc == w.ID {
+				respW = e.Dst
+			} else if e.Port == r.Name {
+				if consumer != dfg.NoVU {
+					ok = false
+				}
+				consumer = e.Dst
+				depth = e.Depth
+			}
+		}
+		if reqW != dfg.NoVU {
+			for _, eid := range g.In(reqW) {
+				if e := g.Edge(eid); e.Kind == dfg.EData {
+					producer = e.Src
+				}
+			}
+		}
+		if !ok || reqW == dfg.NoVU || reqR == dfg.NoVU || producer == dfg.NoVU || consumer == dfg.NoVU {
+			continue
+		}
+		if producer == consumer {
+			continue // a self-stream would be an in-unit register, not a FIFO
+		}
+		ne := g.AddEdge(producer, consumer, dfg.EData)
+		ne.Lanes = lanes
+		ne.Depth = depth
+		ne.Label = "msr." + m.Name
+		g.RemoveVU(u.ID)
+		g.RemoveVU(reqW)
+		g.RemoveVU(reqR)
+		if respW != dfg.NoVU {
+			g.RemoveVU(respW)
+		}
+		st.MSRConverted++
+	}
+}
+
+// applyRtElm removes pure copy units: a compute unit with at most one op
+// whose only data input is a memory/AG read and whose only data output is the
+// store stream of a write to another memory (paper §III-C b). The read data
+// is rewired straight into the write request unit, which shares the copy
+// unit's counter chain (lock-step).
+func applyRtElm(g *dfg.Graph, st *Stats) {
+	for _, u := range g.LiveVUs() {
+		if u == nil || u.Kind != dfg.VCUCompute || u.Ops > 1 {
+			continue
+		}
+		ins := g.In(u.ID)
+		outs := g.Out(u.ID)
+		if len(ins) != 1 || len(outs) != 1 {
+			continue
+		}
+		inE := g.Edge(ins[0])
+		outE := g.Edge(outs[0])
+		srcU, dstU := g.VU(inE.Src), g.VU(outE.Dst)
+		if srcU == nil || dstU == nil {
+			continue
+		}
+		srcIsRead := (srcU.Kind == dfg.VMU || srcU.Kind == dfg.VAG) && inE.Kind == dfg.EData
+		dstIsWriteReq := (dstU.Kind == dfg.VCURequest || dstU.Kind == dfg.VAG) && outE.Kind == dfg.EData &&
+			dstU.Acc >= 0 && g.Prog.Access(dstU.Acc).Dir == ir.Write
+		if !srcIsRead || !dstIsWriteReq || srcU.Mem == dstU.Mem {
+			continue
+		}
+		g.ReattachDst(ins[0], outE.Dst)
+		g.RemoveVU(u.ID)
+		st.RouteThroughs++
+	}
+}
+
+// applyRetime replaces each recorded Slack span with a chain of retiming
+// units. Register-based retiming needs one unit per delay level; scratch-
+// based retiming (retime-m) buffers several levels per PMU-class unit.
+func applyRetime(g *dfg.Graph, spec *arch.Spec, useScratch bool, st *Stats) {
+	// Levels one scratchpad absorbs, versus one register-chain unit.
+	perScratch := spec.PMU.InBufDepth / 2
+	if perScratch < 2 {
+		perScratch = 2
+	}
+	for _, e := range g.LiveEdges() {
+		if e.Slack <= 0 {
+			continue
+		}
+		n := e.Slack
+		if useScratch {
+			n = (e.Slack + perScratch - 1) / perScratch
+		}
+		prev := e.Src
+		lanes := e.Lanes
+		for i := 0; i < n; i++ {
+			rt := g.AddVU(dfg.VCURetime, fmt.Sprintf("rt.%s.%d", e.Label, i))
+			rt.Lanes = lanes
+			if useScratch {
+				rt.CapacityElems = int64(perScratch * lanes)
+				st.RetimeScratch++
+			}
+			st.RetimeVUs++
+			ne := g.AddEdge(prev, rt.ID, dfg.EData)
+			ne.Lanes = lanes
+			ne.Label = rt.Name + ".in"
+			prev = rt.ID
+		}
+		g.ReattachSrc(e.ID, prev)
+		e.Slack = 0
+	}
+}
+
+// applyXbarElm deletes response-side merge units whose inputs are all VMU
+// banks, wiring the banks straight to the consumer, which re-computes the
+// bank address locally (one extra op) instead of receiving it through the
+// tree (paper §III-C d).
+func applyXbarElm(g *dfg.Graph, st *Stats) {
+	for _, u := range g.LiveVUs() {
+		if u == nil || u.Kind != dfg.VCUMerge {
+			continue
+		}
+		ins := g.In(u.ID)
+		outs := g.Out(u.ID)
+		if len(outs) != 1 {
+			continue
+		}
+		allBanks := len(ins) > 0
+		for _, eid := range ins {
+			src := g.VU(g.Edge(eid).Src)
+			if src == nil || src.Kind != dfg.VMU || src.Bank < 0 {
+				allBanks = false
+				break
+			}
+		}
+		if !allBanks {
+			continue
+		}
+		dst := g.Edge(outs[0]).Dst
+		dstU := g.VU(dst)
+		if dstU == nil || dstU.Kind == dfg.VCUMerge {
+			continue // only collapse the last level feeding a real consumer
+		}
+		group := u.Name
+		for _, eid := range append([]dfg.EdgeID(nil), ins...) {
+			g.ReattachDst(eid, dst)
+			// The banks become alternative sources of one logical stream.
+			g.Edge(eid).Group = group
+		}
+		dstU.Ops++ // duplicated BA computation
+		g.RemoveVU(u.ID)
+		st.XbarEliminated++
+	}
+}

@@ -1,0 +1,315 @@
+// Package partition implements SARA's graph partitioning (paper §III-B1):
+// subdividing an oversized dataflow graph into pieces that each fit a
+// physical unit's resource limits, while keeping the quotient graph acyclic
+// and minimizing allocated partitions plus retiming cost (paper Table I).
+//
+// Two families of algorithms are provided, mirroring the paper:
+//
+//   - Traversal-based (§III-B1c): a topological traversal (BFS or DFS, in
+//     forward or backward dataflow order) that greedily fills partitions.
+//     Fast — linear-ish — but up to ~1.7× worse in resource usage.
+//   - Solver-based (§III-B1d, Table III): a 0-1 mixed-integer program over an
+//     assignment matrix B, with delay vectors enforcing acyclicity and
+//     projecting retiming cost, solved by the package mip branch-and-bound
+//     with a relative optimality gap and a warm start from the best
+//     traversal result.
+//
+// The same machinery serves compute partitioning (the op DFG inside one
+// virtual unit) and, with different costs, global merging (package merge).
+package partition
+
+import (
+	"fmt"
+)
+
+// Instance is one partitioning problem: a DAG of op nodes with costs, and the
+// physical-unit limits of the target (paper Table I). Loop-carried-dependence
+// back edges must be excluded by the caller; they may legally cross
+// partitions (paper Fig 7) and do not constrain the quotient order.
+type Instance struct {
+	// N is the node count; nodes are 0..N-1.
+	N int
+	// Ops is the per-node operation cost (pipeline stages consumed).
+	Ops []int
+	// Edges are the DAG's directed edges (real data streams: they count
+	// toward arity and retiming cost).
+	Edges [][2]int
+	// OrderEdges are ordering-only constraints (e.g. dataflow paths through
+	// units outside this instance): they participate in topological order
+	// and quotient acyclicity but carry no stream, so they are excluded
+	// from arity and retiming accounting.
+	OrderEdges [][2]int
+
+	// MaxOps bounds the summed op cost per partition (PCU stages).
+	MaxOps int
+	// MaxIn and MaxOut bound input/output arity per partition. Broadcasts
+	// count once per unique external source (in) and once per broadcasting
+	// node (out), matching the hardware's broadcast-capable network
+	// (paper §III-B).
+	MaxIn, MaxOut int
+	// ExtIn and ExtOut (optional, per node) count arity the node brings from
+	// outside the instance subgraph: streams from/to units that are not part
+	// of this partitioning problem. They are added to every containing
+	// partition's arity.
+	ExtIn, ExtOut []int
+	// Conflicts lists node pairs that must not share a partition, e.g.
+	// because a dataflow path through units outside this instance connects
+	// them: contracting such a pair would create a quotient cycle through
+	// the external path (paper Fig 6 Solution 3).
+	Conflicts [][2]int
+	// Alpha weights retiming cost against partition count in the objective;
+	// zero selects the paper's default 1/min(MaxIn, MaxOut).
+	Alpha float64
+}
+
+func (in *Instance) alpha() float64 {
+	if in.Alpha > 0 {
+		return in.Alpha
+	}
+	m := in.MaxIn
+	if in.MaxOut < m {
+		m = in.MaxOut
+	}
+	if m <= 0 {
+		return 1
+	}
+	return 1 / float64(m)
+}
+
+// Validate checks the instance is a well-formed DAG with satisfiable units.
+func (in *Instance) Validate() error {
+	if in.N <= 0 {
+		return fmt.Errorf("partition: empty instance")
+	}
+	if len(in.Ops) != in.N {
+		return fmt.Errorf("partition: Ops length %d != N %d", len(in.Ops), in.N)
+	}
+	for i, c := range in.Ops {
+		if c > in.MaxOps {
+			return fmt.Errorf("partition: node %d cost %d exceeds MaxOps %d", i, c, in.MaxOps)
+		}
+	}
+	preds := make([]map[int]bool, in.N)
+	for _, e := range in.allEdges() {
+		if e[0] < 0 || e[0] >= in.N || e[1] < 0 || e[1] >= in.N {
+			return fmt.Errorf("partition: edge %v out of range", e)
+		}
+	}
+	for _, e := range in.Edges {
+		if preds[e[1]] == nil {
+			preds[e[1]] = map[int]bool{}
+		}
+		preds[e[1]][e[0]] = true
+	}
+	// A node with more distinct producers than MaxIn can never satisfy the
+	// input-arity constraint, even alone in a partition (short of duplicating
+	// computation, which is the xbar-elm optimization's job, not the
+	// partitioner's). Real op DFGs have in-degree ≤ 3 (FMA).
+	for i, ps := range preds {
+		ext := 0
+		if in.ExtIn != nil {
+			ext = in.ExtIn[i]
+		}
+		if len(ps)+ext > in.MaxIn {
+			return fmt.Errorf("partition: node %d has %d producers > MaxIn %d", i, len(ps)+ext, in.MaxIn)
+		}
+	}
+	for _, c := range in.Conflicts {
+		if c[0] < 0 || c[0] >= in.N || c[1] < 0 || c[1] >= in.N {
+			return fmt.Errorf("partition: conflict %v out of range", c)
+		}
+	}
+	if _, err := in.topoOrder(false); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Result is a partitioning solution.
+type Result struct {
+	// Assign maps node -> partition; partitions are dense 0..NumParts-1 in a
+	// valid topological order of the quotient graph.
+	Assign []int
+	// NumParts is the number of allocated partitions.
+	NumParts int
+	// RetimeUnits is Σ over cross-partition edges of the delay-level span
+	// beyond one (the paper's retiming-partition projection).
+	RetimeUnits int
+	// Cost is NumParts + alpha·RetimeUnits (paper Table I objective).
+	Cost float64
+	// Algo names the algorithm that produced the result.
+	Algo string
+}
+
+// evaluate computes NumParts/RetimeUnits/Cost for an assignment and verifies
+// feasibility, returning an error describing the first violation.
+func (in *Instance) evaluate(assign []int, algo string) (*Result, error) {
+	nP := 0
+	for _, p := range assign {
+		if p+1 > nP {
+			nP = p + 1
+		}
+	}
+	ops := make([]int, nP)
+	inSrc := make([]map[int]bool, nP)
+	outN := make([]map[int]bool, nP)
+	for p := 0; p < nP; p++ {
+		inSrc[p] = map[int]bool{}
+		outN[p] = map[int]bool{}
+	}
+	for i := 0; i < in.N; i++ {
+		ops[assign[i]] += in.Ops[i]
+	}
+	for p, c := range ops {
+		if c > in.MaxOps {
+			return nil, fmt.Errorf("partition %d ops %d > max %d", p, c, in.MaxOps)
+		}
+	}
+	for _, e := range in.Edges {
+		ps, pd := assign[e[0]], assign[e[1]]
+		if ps == pd {
+			continue
+		}
+		inSrc[pd][e[0]] = true
+		outN[ps][e[0]] = true
+	}
+	extIn := make([]int, nP)
+	extOut := make([]int, nP)
+	for i := 0; i < in.N; i++ {
+		if in.ExtIn != nil {
+			extIn[assign[i]] += in.ExtIn[i]
+		}
+		if in.ExtOut != nil {
+			extOut[assign[i]] += in.ExtOut[i]
+		}
+	}
+	for p := 0; p < nP; p++ {
+		if n := len(inSrc[p]) + extIn[p]; n > in.MaxIn {
+			return nil, fmt.Errorf("partition %d input arity %d > max %d", p, n, in.MaxIn)
+		}
+		if n := len(outN[p]) + extOut[p]; n > in.MaxOut {
+			return nil, fmt.Errorf("partition %d output arity %d > max %d", p, n, in.MaxOut)
+		}
+	}
+	for _, c := range in.Conflicts {
+		if assign[c[0]] == assign[c[1]] {
+			return nil, fmt.Errorf("partition: conflicting nodes %d and %d share partition %d", c[0], c[1], assign[c[0]])
+		}
+	}
+	delay, err := in.partitionDelays(assign, nP)
+	if err != nil {
+		return nil, err
+	}
+	retime := 0
+	for _, e := range in.Edges {
+		ps, pd := assign[e[0]], assign[e[1]]
+		if span := delay[pd] - delay[ps] - 1; ps != pd && span > 0 {
+			retime += span
+		}
+	}
+	return &Result{
+		Assign:      assign,
+		NumParts:    nP,
+		RetimeUnits: retime,
+		Cost:        float64(nP) + in.alpha()*float64(retime),
+		Algo:        algo,
+	}, nil
+}
+
+// partitionDelays computes the longest-path depth of every partition in the
+// quotient graph, erroring on quotient cycles (which would deadlock,
+// paper Fig 6 Solution 3).
+func (in *Instance) partitionDelays(assign []int, nP int) ([]int, error) {
+	adj := make(map[int]map[int]bool)
+	indeg := make([]int, nP)
+	for _, e := range in.allEdges() {
+		ps, pd := assign[e[0]], assign[e[1]]
+		if ps == pd {
+			continue
+		}
+		if adj[ps] == nil {
+			adj[ps] = map[int]bool{}
+		}
+		if !adj[ps][pd] {
+			adj[ps][pd] = true
+			indeg[pd]++
+		}
+	}
+	delay := make([]int, nP)
+	var queue []int
+	for p := 0; p < nP; p++ {
+		if indeg[p] == 0 {
+			queue = append(queue, p)
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		seen++
+		for q := range adj[p] {
+			if delay[p]+1 > delay[q] {
+				delay[q] = delay[p] + 1
+			}
+			indeg[q]--
+			if indeg[q] == 0 {
+				queue = append(queue, q)
+			}
+		}
+	}
+	if seen != nP {
+		return nil, fmt.Errorf("partition: quotient graph has a cycle")
+	}
+	return delay, nil
+}
+
+// topoOrder returns a topological order of the instance DAG. bfs selects
+// Kahn's queue discipline (level order); otherwise a stack gives a DFS-like
+// chain order.
+func (in *Instance) topoOrder(bfs bool) ([]int, error) {
+	indeg := make([]int, in.N)
+	adj := make([][]int, in.N)
+	for _, e := range in.allEdges() {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		indeg[e[1]]++
+	}
+	var frontier []int
+	for i := 0; i < in.N; i++ {
+		if indeg[i] == 0 {
+			frontier = append(frontier, i)
+		}
+	}
+	order := make([]int, 0, in.N)
+	for len(frontier) > 0 {
+		var n int
+		if bfs {
+			n = frontier[0]
+			frontier = frontier[1:]
+		} else {
+			n = frontier[len(frontier)-1]
+			frontier = frontier[:len(frontier)-1]
+		}
+		order = append(order, n)
+		for _, m := range adj[n] {
+			indeg[m]--
+			if indeg[m] == 0 {
+				frontier = append(frontier, m)
+			}
+		}
+	}
+	if len(order) != in.N {
+		return nil, fmt.Errorf("partition: input graph has a cycle (exclude LCD edges)")
+	}
+	return order, nil
+}
+
+// allEdges returns the union of real and ordering-only edges.
+func (in *Instance) allEdges() [][2]int {
+	if len(in.OrderEdges) == 0 {
+		return in.Edges
+	}
+	out := make([][2]int, 0, len(in.Edges)+len(in.OrderEdges))
+	out = append(out, in.Edges...)
+	out = append(out, in.OrderEdges...)
+	return out
+}

@@ -1,0 +1,160 @@
+package partition
+
+import "fmt"
+
+// TraversalOrder selects one of the four traversal-based algorithms the paper
+// evaluates (§III-B1c): breadth- or depth-first, in forward or backward
+// dataflow order.
+type TraversalOrder int
+
+const (
+	// BFSForward fills partitions in Kahn level order.
+	BFSForward TraversalOrder = iota
+	// BFSBackward fills partitions in reverse level order.
+	BFSBackward
+	// DFSForward fills partitions along dependency chains.
+	DFSForward
+	// DFSBackward fills partitions along reversed chains.
+	DFSBackward
+)
+
+// String names the traversal order.
+func (o TraversalOrder) String() string {
+	switch o {
+	case BFSForward:
+		return "bfs-fwd"
+	case BFSBackward:
+		return "bfs-bwd"
+	case DFSForward:
+		return "dfs-fwd"
+	case DFSBackward:
+		return "dfs-bwd"
+	default:
+		return fmt.Sprintf("order(%d)", int(o))
+	}
+}
+
+// AllOrders lists the four traversal orders.
+var AllOrders = []TraversalOrder{BFSForward, BFSBackward, DFSForward, DFSBackward}
+
+// Traversal partitions the instance greedily along the given topological
+// traversal. Because nodes are assigned in a (forward or reverse)
+// topological order to monotonically non-decreasing partition indices, the
+// quotient graph is acyclic by construction. Constraints are always checked
+// against the original graph — arity is not symmetric under edge reversal
+// (output arity counts broadcasting nodes once, input arity counts distinct
+// sources) — with unplaced neighbours counted conservatively as external.
+func Traversal(in *Instance, order TraversalOrder) (*Result, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	backward := order == BFSBackward || order == DFSBackward
+	topo, err := in.topoOrder(order == BFSForward || order == BFSBackward)
+	if err != nil {
+		return nil, err
+	}
+	if backward {
+		for i, j := 0, len(topo)-1; i < j; i, j = i+1, j-1 {
+			topo[i], topo[j] = topo[j], topo[i]
+		}
+	}
+
+	assign := make([]int, in.N)
+	for i := range assign {
+		assign[i] = -1
+	}
+	conflictsWith := map[int][]int{}
+	for _, c := range in.Conflicts {
+		conflictsWith[c[0]] = append(conflictsWith[c[0]], c[1])
+		conflictsWith[c[1]] = append(conflictsWith[c[1]], c[0])
+	}
+	conflictFree := func(n, p int) bool {
+		for _, other := range conflictsWith[n] {
+			if assign[other] == p {
+				return false
+			}
+		}
+		return true
+	}
+	cur := 0
+	curOps := 0
+	for _, n := range topo {
+		if curOps+in.Ops[n] > in.MaxOps || !in.arityOK(assign, n, cur) || !conflictFree(n, cur) {
+			cur++
+			curOps = 0
+		}
+		assign[n] = cur
+		curOps += in.Ops[n]
+	}
+	if backward {
+		// Reverse partition indices so they follow forward dataflow order.
+		nP := cur + 1
+		for i := range assign {
+			assign[i] = nP - 1 - assign[i]
+		}
+	}
+	res, err := in.evaluate(assign, "traversal-"+order.String())
+	if err != nil {
+		return nil, fmt.Errorf("partition: traversal %s produced invalid assignment: %w", order, err)
+	}
+	return res, nil
+}
+
+// arityOK reports whether adding node n to partition p keeps the in/out
+// arity of p within limits under the partial assignment. Unplaced neighbours
+// (-1) are counted as external on both sides: in a forward traversal every
+// unplaced node lands in a later partition; in a backward traversal, an
+// earlier one; either way the edge will cross the partition boundary.
+func (in *Instance) arityOK(assign []int, n, p int) bool {
+	trial := assign[n]
+	assign[n] = p
+	defer func() { assign[n] = trial }()
+
+	inSrc := map[int]bool{}
+	outN := map[int]bool{}
+	for _, e := range in.Edges {
+		ps, pd := assign[e[0]], assign[e[1]]
+		if ps == p && pd != p {
+			outN[e[0]] = true // broadcast out of p (placed or future external)
+		}
+		if pd == p && ps != p {
+			inSrc[e[0]] = true // distinct external source into p
+		}
+	}
+	extIn, extOut := 0, 0
+	for i, pi := range assign {
+		if pi != p {
+			continue
+		}
+		if in.ExtIn != nil {
+			extIn += in.ExtIn[i]
+		}
+		if in.ExtOut != nil {
+			extOut += in.ExtOut[i]
+		}
+	}
+	return len(inSrc)+extIn <= in.MaxIn && len(outN)+extOut <= in.MaxOut
+}
+
+// BestTraversal runs all four traversal orders and returns the lowest-cost
+// result.
+func BestTraversal(in *Instance) (*Result, error) {
+	var best *Result
+	var firstErr error
+	for _, o := range AllOrders {
+		r, err := Traversal(in, o)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if best == nil || r.Cost < best.Cost {
+			best = r
+		}
+	}
+	if best == nil {
+		return nil, firstErr
+	}
+	return best, nil
+}

@@ -1,0 +1,147 @@
+// Package pc models the vanilla Plasticine compiler (paper §IV-C) as a
+// baseline. It reuses SARA's pass machinery with the four documented
+// restrictions removed in SARA:
+//
+//  1. Single-accessor memories: a VMU supports exactly one write and one read
+//     stream; programs with more accessors are rejected, which is why PC
+//     cannot explore the same tiling/unrolling design space.
+//  2. Hierarchical FSM synchronization (paper Fig 2d): every execution of a
+//     child controller pays an enable/done handshake round trip with its
+//     parent over the network, adding pipeline bubbles that grow with
+//     control-hierarchy depth — the overhead CMMC's peer-to-peer tokens
+//     eliminate.
+//  3. No memory partitioner: logical memories cannot shard across PMUs, so
+//     capacity-oversized tiles fail to compile and parallel readers
+//     serialize on a single memory unit.
+//  4. No independent unrolling: outer loops cannot be spatially unrolled
+//     beyond the memory system (without banking, extra reader instances
+//     would starve), so outer parallelization factors are clamped to 1.
+package pc
+
+import (
+	"fmt"
+
+	"sara/internal/arch"
+	"sara/internal/core"
+	"sara/internal/ir"
+	"sara/internal/membank"
+	"sara/internal/opt"
+	"sara/internal/sim"
+)
+
+// Compile runs the restricted vanilla flow on prog for the given chip.
+func Compile(prog *ir.Program, spec *arch.Spec) (*core.Compiled, error) {
+	if err := checkSingleAccessors(prog); err != nil {
+		return nil, err
+	}
+	clamped := clampOuterPar(prog)
+	cfg := core.Config{
+		Spec: spec,
+		// PC has no msr/rtelm/retime-m/xbar-elm optimization suite; leave
+		// retiming on so deep graphs still pipeline at all.
+		Opt:     opt.Options{Retime: true},
+		Membank: membank.Options{DisableBanking: true},
+	}
+	c, err := core.Compile(clamped, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("pc: %w", err)
+	}
+	return c, nil
+}
+
+// Simulate runs the design and adds the hierarchical-FSM handshake bubbles.
+func Simulate(c *core.Compiled, cycleEngine bool) (*sim.Result, error) {
+	d := c.Design()
+	var r *sim.Result
+	var err error
+	if cycleEngine {
+		r, err = sim.Cycle(d, 0)
+	} else {
+		r, err = sim.Analytic(d)
+	}
+	if err != nil {
+		return nil, err
+	}
+	r.Cycles += HandshakeBubbles(c.Prog, c.Spec)
+	r.Engine = "pc-" + r.Engine
+	return r, nil
+}
+
+// HandshakeBubbles estimates the cycles lost to hierarchical enable/done
+// handshakes: every execution of every non-root controller pays one network
+// round trip with its parent's FSM. On an FPGA these signals travel in a
+// cycle; on an RDA they take tens of cycles (paper §III-A).
+func HandshakeBubbles(prog *ir.Program, spec *arch.Spec) int64 {
+	rtt := int64(2 * (defaultHandshakeHops + 1) * spec.NetHopLatencyCycles)
+	var bubbles int64
+	prog.Walk(func(c *ir.Ctrl) {
+		if c.ID == 0 || c.Kind == ir.CtrlBlock {
+			return
+		}
+		// Executions of this controller = iterations of everything above it.
+		execs := prog.TotalIterations(c.ID) / int64(c.Trip)
+		bubbles += execs * rtt
+	})
+	return bubbles
+}
+
+// defaultHandshakeHops is the assumed distance between a controller FSM and
+// its children on the fabric. Enable and done legs partially overlap with
+// datapath ramp-up, so the effective round trip is shorter than two full
+// network crossings.
+const defaultHandshakeHops = 2
+
+// checkSingleAccessors enforces restriction 1.
+func checkSingleAccessors(prog *ir.Program) error {
+	for _, m := range prog.Mems {
+		if m.Kind != ir.MemSRAM && m.Kind != ir.MemReg {
+			continue
+		}
+		var w, r int
+		for _, aid := range m.Accessors {
+			if prog.Access(aid).Dir == ir.Write {
+				w++
+			} else {
+				r++
+			}
+		}
+		if w > 1 || r > 1 {
+			return fmt.Errorf("pc: memory %s has %d writers / %d readers; the vanilla compiler supports one each", m.Name, w, r)
+		}
+	}
+	return nil
+}
+
+// clampOuterPar returns a copy of the program with every non-innermost
+// loop's parallelization factor clamped to 1 (restriction 4). Innermost
+// (SIMD) factors survive.
+func clampOuterPar(prog *ir.Program) *ir.Program {
+	// Programs are cheap to rebuild structurally: clone controllers with
+	// adjusted Par.
+	clone := *prog
+	clone.Ctrls = make([]*ir.Ctrl, len(prog.Ctrls))
+	for i, c := range prog.Ctrls {
+		nc := *c
+		if nc.IsLoop() && nc.Par > 1 && !isInnermost(prog, c.ID) {
+			nc.Par = 1
+		}
+		clone.Ctrls[i] = &nc
+	}
+	return &clone
+}
+
+func isInnermost(prog *ir.Program, id ir.CtrlID) bool {
+	inner := true
+	var rec func(ir.CtrlID)
+	rec = func(c ir.CtrlID) {
+		for _, ch := range prog.Ctrl(c).Children {
+			if prog.Ctrl(ch).IsLoop() {
+				inner = false
+				return
+			}
+			rec(ch)
+		}
+	}
+	rec(id)
+	return inner
+}

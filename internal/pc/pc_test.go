@@ -1,0 +1,149 @@
+package pc
+
+import (
+	"testing"
+
+	"sara/internal/arch"
+	"sara/internal/core"
+	"sara/internal/ir"
+	"sara/internal/sim"
+	"sara/spatial"
+)
+
+// deepNest builds a 3-level nest with small inner trips: the worst case for
+// hierarchical handshakes.
+func deepNest(outerPar int) *ir.Program {
+	b := spatial.NewBuilder("nest")
+	x := b.DRAM("x", 1<<16)
+	t := b.SRAM("t", 256)
+	b.For("a", 0, 32, 1, 1, func(a spatial.Iter) {
+		b.For("i", 0, 8, 1, 1, func(i spatial.Iter) {
+			b.For("j", 0, 8, 1, 1, func(j spatial.Iter) {
+				b.Block("w", func(blk *spatial.Block) {
+					v := blk.Read(x, spatial.Streaming())
+					blk.WriteFrom(t, spatial.Affine(0, spatial.Term(i, 8), spatial.Term(j, 1)), v)
+				})
+			})
+		})
+		b.For("k", 0, 8, 1, outerPar, func(k spatial.Iter) {
+			b.For("l", 0, 8, 1, 1, func(l spatial.Iter) {
+				b.Block("r", func(blk *spatial.Block) {
+					v := blk.Read(t, spatial.Affine(0, spatial.Term(k, 8), spatial.Term(l, 1)))
+					blk.OpChain(spatial.OpFMA, 3)
+					blk.Accum(v)
+				})
+			})
+		})
+	})
+	return b.MustBuild()
+}
+
+func TestPCSlowerThanSARA(t *testing.T) {
+	prog := deepNest(1)
+	spec := arch.PlasticineV1()
+
+	pcC, err := Compile(prog, spec)
+	if err != nil {
+		t.Fatalf("pc compile: %v", err)
+	}
+	pcR, err := Simulate(pcC, true)
+	if err != nil {
+		t.Fatalf("pc simulate: %v", err)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.Spec = spec
+	saraC, err := core.Compile(deepNest(1), cfg)
+	if err != nil {
+		t.Fatalf("sara compile: %v", err)
+	}
+	saraR, err := sim.Cycle(saraC.Design(), 0)
+	if err != nil {
+		t.Fatalf("sara simulate: %v", err)
+	}
+	if pcR.Cycles <= saraR.Cycles {
+		t.Errorf("PC (%d cycles) must be slower than SARA (%d cycles)", pcR.Cycles, saraR.Cycles)
+	}
+	// Handshake bubbles must be a real component.
+	if hb := HandshakeBubbles(prog, spec); hb <= 0 {
+		t.Errorf("handshake bubbles = %d, want > 0", hb)
+	}
+}
+
+func TestPCClampsOuterPar(t *testing.T) {
+	prog := deepNest(4)
+	c, err := Compile(prog, arch.PlasticineV1())
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	// With outer par clamped there is exactly one reader instance, so no
+	// banking was ever needed and the unit count stays small.
+	for _, u := range c.Lowered.G.LiveVUs() {
+		if u.Name == "r" && u.Instance != "" {
+			t.Errorf("outer unroll instance %q survived PC clamping", u.Instance)
+		}
+	}
+}
+
+func TestPCRejectsMultiAccessorMemories(t *testing.T) {
+	b := spatial.NewBuilder("multi")
+	m := b.SRAM("m", 64)
+	b.For("i", 0, 8, 1, 1, func(i spatial.Iter) {
+		b.Block("w1", func(blk *spatial.Block) { blk.Write(m, spatial.Affine(0, spatial.Term(i, 1))) })
+		b.Block("w2", func(blk *spatial.Block) { blk.Write(m, spatial.Affine(8, spatial.Term(i, 1))) })
+		b.Block("r", func(blk *spatial.Block) { blk.Read(m, spatial.Affine(0, spatial.Term(i, 1))) })
+	})
+	if _, err := Compile(b.MustBuild(), arch.PlasticineV1()); err == nil {
+		t.Fatal("expected rejection: two writers on one memory")
+	}
+}
+
+func TestHandshakeBubblesGrowWithDepth(t *testing.T) {
+	shallow := spatial.NewBuilder("shallow")
+	x := shallow.DRAM("x", 4096)
+	shallow.For("i", 0, 2048, 1, 1, func(i spatial.Iter) {
+		shallow.Block("b", func(blk *spatial.Block) {
+			v := blk.Read(x, spatial.Streaming())
+			blk.Op(spatial.OpMul, v, v)
+		})
+	})
+	deep := deepNest(1)
+	spec := arch.PlasticineV1()
+	if HandshakeBubbles(deep, spec) <= HandshakeBubbles(shallow.MustBuild(), spec) {
+		t.Error("deep nests must pay more handshake bubbles than flat loops")
+	}
+}
+
+// TestPCSlowerOnCycleEngineToo re-validates the Table V conclusion with the
+// exact engine at reduced scale: the vanilla compiler's disadvantage is not
+// an artifact of the analytic model.
+func TestPCSlowerOnCycleEngineToo(t *testing.T) {
+	b := func() *ir.Program { return deepNest(1) }
+	spec := arch.PlasticineV1()
+
+	pcC, err := Compile(b(), spec)
+	if err != nil {
+		t.Fatalf("pc compile: %v", err)
+	}
+	pcR, err := Simulate(pcC, true) // cycle engine + handshake bubbles
+	if err != nil {
+		t.Fatalf("pc simulate: %v", err)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.Spec = spec
+	cfg.SkipPlace = true
+	saraC, err := core.Compile(b(), cfg)
+	if err != nil {
+		t.Fatalf("sara compile: %v", err)
+	}
+	saraR, err := sim.Cycle(saraC.Design(), 0)
+	if err != nil {
+		t.Fatalf("sara simulate: %v", err)
+	}
+	ratio := float64(pcR.Cycles) / float64(saraR.Cycles)
+	if ratio < 1.2 {
+		t.Errorf("cycle-engine PC/SARA ratio = %.2f, want > 1.2 (pc=%d sara=%d)",
+			ratio, pcR.Cycles, saraR.Cycles)
+	}
+}

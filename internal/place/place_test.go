@@ -1,0 +1,119 @@
+package place
+
+import (
+	"testing"
+
+	"sara/internal/arch"
+	"sara/internal/consistency"
+	"sara/internal/lower"
+	"sara/internal/merge"
+	"sara/spatial"
+)
+
+func placedPipeline(t *testing.T) (*lower.Result, *merge.Result, *Placement) {
+	t.Helper()
+	b := spatial.NewBuilder("pipe")
+	x := b.DRAM("x", 4096)
+	tile := b.SRAM("tile", 64)
+	b.For("a", 0, 8, 1, 1, func(a spatial.Iter) {
+		b.For("i", 0, 64, 1, 1, func(i spatial.Iter) {
+			b.Block("prod", func(blk *spatial.Block) {
+				v := blk.Read(x, spatial.Streaming())
+				blk.WriteFrom(tile, spatial.Affine(0, spatial.Term(i, 1)), v)
+			})
+		})
+		b.For("j", 0, 64, 1, 1, func(j spatial.Iter) {
+			b.Block("cons", func(blk *spatial.Block) {
+				v := blk.Read(tile, spatial.Affine(0, spatial.Term(j, 1)))
+				blk.Accum(blk.Op(spatial.OpMul, v, v))
+			})
+		})
+	})
+	p := b.MustBuild()
+	plan := consistency.Analyze(p, consistency.Options{})
+	res, err := lower.Lower(p, plan, arch.SARA20x20(), lower.Options{})
+	if err != nil {
+		t.Fatalf("Lower: %v", err)
+	}
+	m, err := merge.Merge(res.G, arch.SARA20x20(), merge.Options{})
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	pl, err := Place(res.G, m, arch.SARA20x20(), Options{})
+	if err != nil {
+		t.Fatalf("Place: %v", err)
+	}
+	return res, m, pl
+}
+
+func TestPlaceAssignsAllPUs(t *testing.T) {
+	_, m, pl := placedPipeline(t)
+	if len(pl.Coord) != len(m.PUs) {
+		t.Errorf("placed %d of %d PUs", len(pl.Coord), len(m.PUs))
+	}
+	// No two PUs share a coordinate.
+	seen := map[string]int{}
+	for id, c := range pl.Coord {
+		if prev, ok := seen[c.String()]; ok {
+			t.Errorf("PUs %d and %d share %s", prev, id, c)
+		}
+		seen[c.String()] = id
+	}
+}
+
+func TestPlaceDeterministic(t *testing.T) {
+	res, m, pl1 := placedPipeline(t)
+	pl2, err := Place(res.G, m, arch.SARA20x20(), Options{})
+	if err != nil {
+		t.Fatalf("Place: %v", err)
+	}
+	for id := range pl1.Coord {
+		if pl1.Coord[id] != pl2.Coord[id] {
+			t.Fatalf("placement not deterministic for PU %d", id)
+		}
+	}
+}
+
+func TestPlaceRejectsOversizedDesign(t *testing.T) {
+	// A tiny chip cannot hold the design.
+	res, m, _ := placedPipeline(t)
+	small := arch.SARA20x20()
+	small.Rows, small.Cols = 1, 1
+	small.NumPCU, small.NumPMU, small.NumAG = 1, 1, 0
+	if _, err := Place(res.G, m, small, Options{}); err == nil {
+		t.Fatal("expected does-not-fit error")
+	}
+}
+
+func TestEdgeHops(t *testing.T) {
+	res, m, pl := placedPipeline(t)
+	// Hops between any two connected units are bounded by the grid diameter.
+	diam := pl.Grid.Rows + pl.Grid.Cols
+	for _, e := range res.G.LiveEdges() {
+		h := pl.EdgeHops(m, e.Src, e.Dst)
+		if h < 0 || h > diam {
+			t.Errorf("edge %s hops = %d out of range", e.Label, h)
+		}
+	}
+	if pl.MaxHop <= 0 {
+		t.Error("MaxHop should be positive for a multi-PU design")
+	}
+}
+
+// TestAnnealerImprovesWireCost: the simulated annealer must beat a
+// zero-iteration (initial scan-order) placement on communication-heavy
+// designs.
+func TestAnnealerImprovesWireCost(t *testing.T) {
+	res, m, _ := placedPipeline(t)
+	initial, err := Place(res.G, m, arch.SARA20x20(), Options{Iters: 1})
+	if err != nil {
+		t.Fatalf("initial: %v", err)
+	}
+	annealed, err := Place(res.G, m, arch.SARA20x20(), Options{Iters: 20000})
+	if err != nil {
+		t.Fatalf("annealed: %v", err)
+	}
+	if annealed.WireCost > initial.WireCost {
+		t.Errorf("annealing worsened wire cost: %.1f -> %.1f", initial.WireCost, annealed.WireCost)
+	}
+}

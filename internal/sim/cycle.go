@@ -1,0 +1,693 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"sara/internal/dfg"
+	"sara/internal/dram"
+	"sara/internal/ir"
+)
+
+// Cycle runs the cycle-level engine. maxCycles guards against runaways
+// (0 = 200M cycles).
+func Cycle(d *Design, maxCycles int64) (*Result, error) {
+	cs, err := newCycleSim(d)
+	if err != nil {
+		return nil, err
+	}
+	if maxCycles <= 0 {
+		maxCycles = 200_000_000
+	}
+	return cs.run(maxCycles)
+}
+
+// arrival is a scheduled in-flight delivery on an edge.
+type arrival struct {
+	at int64
+	n  int
+}
+
+// edgeState tracks one stream's receiver buffer and in-flight elements.
+type edgeState struct {
+	e       *dfg.Edge
+	occ     int // delivered, consumable elements/tokens
+	cap     int
+	pending []arrival
+	head    int
+	latency int64
+	served  int // VMU decimation counter
+}
+
+func (es *edgeState) inflight() int {
+	n := 0
+	for i := es.head; i < len(es.pending); i++ {
+		n += es.pending[i].n
+	}
+	return n
+}
+
+func (es *edgeState) space() int { return es.cap - es.occ - es.inflight() }
+
+// push schedules n elements to arrive after the edge latency.
+func (es *edgeState) push(now int64, n int) {
+	es.pending = append(es.pending, arrival{at: now + es.latency, n: n})
+}
+
+// deliver moves arrived elements into the buffer.
+func (es *edgeState) deliver(now int64) {
+	for es.head < len(es.pending) && es.pending[es.head].at <= now {
+		es.occ += es.pending[es.head].n
+		es.head++
+	}
+	if es.head > 64 && es.head == len(es.pending) {
+		es.pending = es.pending[:0]
+		es.head = 0
+	}
+}
+
+// nextArrival returns the earliest pending delivery cycle, or -1.
+func (es *edgeState) nextArrival() int64 {
+	if es.head < len(es.pending) {
+		return es.pending[es.head].at
+	}
+	return -1
+}
+
+// vuState is the runtime state of one unit.
+type vuState struct {
+	u     *dfg.VU
+	idx   []int
+	fired int64
+	total int64
+	done  bool
+
+	// Per-firing streams and counter-level-triggered streams.
+	inFire  []*edgeState
+	outFire []*edgeState
+	popAt   [][]*edgeState // by counter level
+	pushAt  [][]*edgeState
+	holdIn  []*edgeState // level-popped inputs: must hold >=1 to be enabled
+	// inAny groups alternative sources of one logical stream (banked
+	// responses after crossbar elimination): one element per firing is
+	// consumed from any member.
+	inAny [][]*edgeState
+
+	// VAG state.
+	agChan   int
+	agIsRead bool
+	agRandom bool
+
+	// Stall accounting (cycle counts while enabled-for-work but blocked).
+	stallIn    int64 // waiting on a data input
+	stallOut   int64 // blocked on a full output buffer
+	stallToken int64 // waiting on a CMMC token or credit
+
+	// VMU port table.
+	ports []*vmuPort
+	rrIn  int
+
+	// merge round-robin input index.
+	mergeRR int
+}
+
+// vmuPort is one access stream served by a memory unit.
+type vmuPort struct {
+	name     string
+	write    bool
+	ins      []*edgeState
+	outs     []*edgeState
+	rrIn     int
+	rrOut    int
+	decimate int
+	served   int64
+}
+
+type cycleSim struct {
+	d     *Design
+	dram  *dram.Model
+	vus   []*vuState
+	edges []*edgeState
+	now   int64
+	trace *Trace
+
+	firedTotal int64
+	busyCycles int64 // Σ over compute units of cycles spent firing
+	nCompute   int64
+}
+
+func newCycleSim(d *Design) (*cycleSim, error) {
+	if err := d.G.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	cs := &cycleSim{d: d, dram: dram.New(d.Spec.DRAM)}
+	cs.edges = make([]*edgeState, len(d.G.Edges))
+	for _, e := range d.G.LiveEdges() {
+		es := &edgeState{
+			e:       e,
+			cap:     e.Depth,
+			latency: int64(d.edgeLatency(e)),
+		}
+		if es.cap < e.Init+2 {
+			es.cap = e.Init + 2
+		}
+		// Responses in flight from the memory system live in the DRAM
+		// controller's queues, not the receiver FIFO: AG hardware covers the
+		// bandwidth-delay product. On-chip streams keep the FIFO-sized
+		// window (long under-buffered paths really do throttle — that is
+		// what retiming fixes).
+		if src := d.G.VU(e.Src); src != nil && src.Kind == dfg.VAG {
+			es.cap += 2 * d.Spec.DRAM.LatencyCycles
+		}
+		es.occ = e.Init
+		cs.edges[e.ID] = es
+	}
+	cs.vus = make([]*vuState, len(d.G.VUs))
+	for _, u := range d.G.LiveVUs() {
+		vs := &vuState{u: u, idx: make([]int, len(u.Counters)), total: u.Firings()}
+		cs.vus[u.ID] = vs
+		switch u.Kind {
+		case dfg.VMU:
+			cs.initVMU(vs)
+		case dfg.VCUMerge, dfg.VCURetime, dfg.VCUSync:
+			cs.initForwarder(vs)
+		default:
+			cs.initCounterUnit(vs)
+			if u.Kind == dfg.VAG {
+				vs.agChan = cs.dram.BindStream()
+				if u.Acc >= 0 {
+					a := d.G.Prog.Access(u.Acc)
+					vs.agIsRead = a.Dir == ir.Read
+					vs.agRandom = a.Pat.Kind == ir.PatRandom
+				}
+			}
+			if u.Kind.IsCompute() {
+				cs.nCompute++
+			}
+		}
+	}
+	return cs, nil
+}
+
+// levelOf maps a controller to its index in the unit's counter chain, or -1.
+func levelOf(u *dfg.VU, ctrl ir.CtrlID) int {
+	for i, c := range u.Counters {
+		if c.Ctrl == ctrl {
+			return i
+		}
+	}
+	return -1
+}
+
+func (cs *cycleSim) initCounterUnit(vs *vuState) {
+	u := vs.u
+	vs.popAt = make([][]*edgeState, len(u.Counters))
+	vs.pushAt = make([][]*edgeState, len(u.Counters))
+	groups := map[string][]*edgeState{}
+	var groupNames []string
+	for _, eid := range cs.d.G.In(u.ID) {
+		es := cs.edges[eid]
+		lvl := -1
+		if es.e.PopCtrl != ir.NoCtrl {
+			lvl = levelOf(u, es.e.PopCtrl)
+		}
+		switch {
+		case lvl >= 0:
+			vs.popAt[lvl] = append(vs.popAt[lvl], es)
+			vs.holdIn = append(vs.holdIn, es)
+		case es.e.Group != "":
+			if _, ok := groups[es.e.Group]; !ok {
+				groupNames = append(groupNames, es.e.Group)
+			}
+			groups[es.e.Group] = append(groups[es.e.Group], es)
+		default:
+			vs.inFire = append(vs.inFire, es)
+		}
+	}
+	sort.Strings(groupNames)
+	for _, gn := range groupNames {
+		vs.inAny = append(vs.inAny, groups[gn])
+	}
+	for _, eid := range cs.d.G.Out(u.ID) {
+		es := cs.edges[eid]
+		lvl := -1
+		if es.e.PushCtrl != ir.NoCtrl {
+			lvl = levelOf(u, es.e.PushCtrl)
+		}
+		if lvl >= 0 {
+			vs.pushAt[lvl] = append(vs.pushAt[lvl], es)
+		} else {
+			vs.outFire = append(vs.outFire, es)
+		}
+	}
+}
+
+func (cs *cycleSim) initForwarder(vs *vuState) {
+	for _, eid := range cs.d.G.In(vs.u.ID) {
+		vs.inFire = append(vs.inFire, cs.edges[eid])
+	}
+	for _, eid := range cs.d.G.Out(vs.u.ID) {
+		vs.outFire = append(vs.outFire, cs.edges[eid])
+	}
+}
+
+func (cs *cycleSim) initVMU(vs *vuState) {
+	byPort := map[string]*vmuPort{}
+	var names []string
+	get := func(port string) *vmuPort {
+		p, ok := byPort[port]
+		if !ok {
+			p = &vmuPort{name: port}
+			byPort[port] = p
+			names = append(names, port)
+		}
+		return p
+	}
+	for _, eid := range cs.d.G.In(vs.u.ID) {
+		es := cs.edges[eid]
+		p := get(es.e.Port)
+		p.ins = append(p.ins, es)
+		if es.e.Decimate > p.decimate {
+			p.decimate = es.e.Decimate
+		}
+	}
+	for _, eid := range cs.d.G.Out(vs.u.ID) {
+		es := cs.edges[eid]
+		get(es.e.Port).outs = append(get(es.e.Port).outs, es)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		p := byPort[n]
+		if p.decimate < 1 {
+			p.decimate = 1
+		}
+		// Write ports are identified by the access direction; the port name
+		// is the access name.
+		for _, a := range cs.d.G.Prog.Accs {
+			if a.Name == n {
+				p.write = a.Dir == ir.Write
+				break
+			}
+		}
+		vs.ports = append(vs.ports, p)
+	}
+}
+
+// run advances the simulation to completion.
+func (cs *cycleSim) run(maxCycles int64) (*Result, error) {
+	remaining := 0
+	for _, vs := range cs.vus {
+		if vs != nil && vs.isCounterDriven() && vs.total > 0 {
+			remaining++
+		}
+	}
+	for cs.now = 0; cs.now < maxCycles; cs.now++ {
+		progress := false
+		for _, es := range cs.edges {
+			if es != nil {
+				es.deliver(cs.now)
+			}
+		}
+		for _, vs := range cs.vus {
+			if vs == nil {
+				continue
+			}
+			switch vs.u.Kind {
+			case dfg.VMU:
+				if cs.stepVMU(vs) {
+					progress = true
+				}
+			case dfg.VCUMerge:
+				if cs.stepMerge(vs) {
+					progress = true
+				}
+			case dfg.VCURetime:
+				if cs.stepRetime(vs) {
+					progress = true
+				}
+			case dfg.VCUSync:
+				if cs.stepSync(vs) {
+					progress = true
+				}
+			default:
+				if vs.done {
+					continue
+				}
+				if cs.stepCounterUnit(vs) {
+					progress = true
+					if vs.done {
+						remaining--
+					}
+				}
+			}
+		}
+		if remaining == 0 {
+			cs.now++
+			break
+		}
+		if !progress {
+			// Nothing happened: jump to the next arrival, or report deadlock.
+			next := int64(-1)
+			for _, es := range cs.edges {
+				if es == nil {
+					continue
+				}
+				if a := es.nextArrival(); a > cs.now && (next < 0 || a < next) {
+					next = a
+				}
+			}
+			if next < 0 {
+				return nil, fmt.Errorf("sim: deadlock at cycle %d: %s", cs.now, cs.describeStuck())
+			}
+			cs.now = next - 1 // loop increment lands on the arrival cycle
+		}
+	}
+	if cs.now >= maxCycles {
+		return nil, fmt.Errorf("sim: exceeded %d cycles without completing", maxCycles)
+	}
+	busy := 0.0
+	if cs.nCompute > 0 && cs.now > 0 {
+		busy = float64(cs.busyCycles) / float64(cs.nCompute*cs.now)
+	}
+	stalls := map[string]int64{}
+	var units []UnitStat
+	for _, vs := range cs.vus {
+		if vs == nil {
+			continue
+		}
+		stalls["input-starved"] += vs.stallIn
+		stalls["output-blocked"] += vs.stallOut
+		stalls["token-wait"] += vs.stallToken
+		if vs.fired > 0 {
+			units = append(units, UnitStat{
+				Name:   vs.u.Name + vs.u.Instance,
+				Fired:  vs.fired,
+				Busy:   float64(vs.fired) / float64(cs.now),
+				Stalls: vs.stallIn + vs.stallOut + vs.stallToken,
+			})
+		}
+	}
+	sort.Slice(units, func(i, j int) bool { return units[i].Fired > units[j].Fired })
+	if len(units) > 10 {
+		units = units[:10]
+	}
+	return &Result{
+		Cycles:      cs.now,
+		Engine:      "cycle",
+		ComputeBusy: busy,
+		DRAM:        cs.dram.Stats(),
+		FiredTotal:  cs.firedTotal,
+		Stalls:      stalls,
+		TopUnits:    units,
+	}, nil
+}
+
+func (vs *vuState) isCounterDriven() bool {
+	switch vs.u.Kind {
+	case dfg.VMU, dfg.VCUMerge, dfg.VCURetime, dfg.VCUSync:
+		return false
+	}
+	return true
+}
+
+// stepCounterUnit attempts one firing of a counter-driven unit.
+func (cs *cycleSim) stepCounterUnit(vs *vuState) bool {
+	// Enabled: per-firing inputs available, level-popped inputs held,
+	// per-firing outputs have space.
+	for _, es := range vs.inFire {
+		if es.occ < 1 {
+			if es.e.Kind == dfg.EToken {
+				vs.stallToken++
+			} else {
+				vs.stallIn++
+			}
+			return false
+		}
+	}
+	for _, es := range vs.holdIn {
+		if es.occ < 1 {
+			vs.stallToken++
+			return false
+		}
+	}
+	for _, grp := range vs.inAny {
+		total := 0
+		for _, es := range grp {
+			total += es.occ
+		}
+		if total < 1 {
+			vs.stallIn++
+			return false
+		}
+	}
+	for _, es := range vs.outFire {
+		if es.space() < 1 {
+			vs.stallOut++
+			return false
+		}
+	}
+	// Counter wraps this firing will trigger (innermost-out cascade).
+	wraps := vs.wrapLevels()
+	for _, lvl := range wraps {
+		for _, es := range vs.pushAt[lvl] {
+			if es.space() < 1 {
+				vs.stallOut++
+				return false
+			}
+		}
+	}
+	// Fire.
+	for _, es := range vs.inFire {
+		es.occ--
+	}
+	for _, grp := range vs.inAny {
+		for _, es := range grp {
+			if es.occ > 0 {
+				es.occ--
+				break
+			}
+		}
+	}
+	lat := int64(vs.u.Stages)
+	if vs.u.Kind == dfg.VAG {
+		lat = cs.agIssue(vs)
+	}
+	for _, es := range vs.outFire {
+		es.pending = append(es.pending, arrival{at: cs.now + lat + es.latency, n: 1})
+	}
+	for _, lvl := range wraps {
+		for _, es := range vs.pushAt[lvl] {
+			es.pending = append(es.pending, arrival{at: cs.now + lat + es.latency, n: 1})
+		}
+		for _, es := range vs.popAt[lvl] {
+			es.occ--
+		}
+	}
+	vs.advanceCounters()
+	vs.fired++
+	cs.firedTotal++
+	if vs.u.Kind.IsCompute() {
+		cs.busyCycles++
+	}
+	if vs.fired >= vs.total {
+		vs.done = true
+	}
+	return true
+}
+
+// wrapLevels returns the counter levels (indices) that wrap on the next
+// firing, innermost first.
+func (vs *vuState) wrapLevels() []int {
+	var wraps []int
+	for i := len(vs.idx) - 1; i >= 0; i-- {
+		if vs.idx[i]+1 < vs.u.Counters[i].Trip {
+			break
+		}
+		wraps = append(wraps, i)
+	}
+	if len(vs.idx) == 0 {
+		return nil
+	}
+	return wraps
+}
+
+// advanceCounters performs the chained-counter increment: the innermost
+// level bumps every firing, carrying outward on saturation.
+func (vs *vuState) advanceCounters() {
+	for i := len(vs.idx) - 1; i >= 0; i-- {
+		vs.idx[i]++
+		if vs.idx[i] < vs.u.Counters[i].Trip {
+			return
+		}
+		vs.idx[i] = 0
+	}
+}
+
+// agIssue sends one DRAM transfer for the firing and returns the extra
+// latency before its response (read data or write ack) appears. Sequential
+// patterns coalesce into shared bursts; gathers pay full bursts.
+func (cs *cycleSim) agIssue(vs *vuState) int64 {
+	bytes := vs.u.Lanes * elemBytes(cs.d)
+	var done int64
+	if vs.agRandom {
+		done = cs.dram.Request(vs.agChan, bytes, cs.now)
+	} else {
+		done = cs.dram.RequestCoalesced(vs.agChan, bytes, cs.now)
+	}
+	return done - cs.now
+}
+
+// stepVMU serves at most one read port and one write port per cycle.
+func (cs *cycleSim) stepVMU(vs *vuState) bool {
+	progress := false
+	progress = cs.serveVMUPort(vs, true) || progress
+	progress = cs.serveVMUPort(vs, false) || progress
+	return progress
+}
+
+func (cs *cycleSim) serveVMUPort(vs *vuState, write bool) bool {
+	n := len(vs.ports)
+	progress := false
+	for k := 0; k < n; k++ {
+		p := vs.ports[(vs.rrIn+k)%n]
+		if p.write != write || len(p.ins) == 0 {
+			continue
+		}
+		in := p.ins[p.rrIn%len(p.ins)]
+		// The bank-address filter drops non-matching requests of a banked
+		// broadcast at line rate: only every decimate-th element occupies a
+		// real service slot (paper Fig 8b).
+		for p.decimate > 1 && in.occ > 0 && p.served%int64(p.decimate) != 0 {
+			in.occ--
+			p.served++
+			progress = true
+		}
+		if in.occ < 1 {
+			continue
+		}
+		var out *edgeState
+		if len(p.outs) > 0 {
+			out = p.outs[p.rrOut%len(p.outs)]
+			if out.space() < 1 {
+				continue
+			}
+		}
+		in.occ--
+		p.rrIn++
+		p.served++
+		if cs.trace != nil {
+			cs.trace.Events = append(cs.trace.Events, PortEvent{
+				Mem: vs.u.Mem, Access: p.name, Write: p.write, Cycle: cs.now, Seq: p.served,
+			})
+		}
+		if out != nil {
+			out.pending = append(out.pending, arrival{at: cs.now + int64(cs.d.Spec.PMU.Stages) + out.latency, n: 1})
+			p.rrOut++
+		}
+		vs.rrIn++
+		return true
+	}
+	return progress
+}
+
+// stepMerge moves elements through a banking merge node. The node is a
+// vector-wide filter: it inspects one element from EACH input stream per
+// cycle (that is why banking builds trees — each level absorbs fan-in at
+// line rate, paper Fig 8c), forwarding them downstream where the bank-address
+// filter at the memory port discards the non-matching share for free.
+func (cs *cycleSim) stepMerge(vs *vuState) bool {
+	if len(vs.outFire) == 0 || len(vs.inFire) == 0 {
+		return false
+	}
+	out := vs.outFire[0]
+	progress := false
+	for _, in := range vs.inFire {
+		if in.occ < 1 || out.space() < 1 {
+			continue
+		}
+		in.occ--
+		out.pending = append(out.pending, arrival{at: cs.now + 1 + out.latency, n: 1})
+		progress = true
+	}
+	return progress
+}
+
+// stepRetime forwards its single stream with one cycle of delay.
+func (cs *cycleSim) stepRetime(vs *vuState) bool {
+	if len(vs.inFire) == 0 || len(vs.outFire) == 0 {
+		return false
+	}
+	in, out := vs.inFire[0], vs.outFire[0]
+	if in.occ < 1 || out.space() < 1 {
+		return false
+	}
+	in.occ--
+	out.pending = append(out.pending, arrival{at: cs.now + 1 + out.latency, n: 1})
+	return true
+}
+
+// stepSync fires when every input holds a token, emitting one to every
+// output.
+func (cs *cycleSim) stepSync(vs *vuState) bool {
+	for _, es := range vs.inFire {
+		if es.occ < 1 {
+			return false
+		}
+	}
+	for _, es := range vs.outFire {
+		if es.space() < 1 {
+			return false
+		}
+	}
+	if len(vs.inFire) == 0 {
+		return false
+	}
+	for _, es := range vs.inFire {
+		es.occ--
+	}
+	for _, es := range vs.outFire {
+		es.pending = append(es.pending, arrival{at: cs.now + 1 + es.latency, n: 1})
+	}
+	return true
+}
+
+// describeStuck reports which units are blocked and why, for deadlock
+// diagnostics.
+func (cs *cycleSim) describeStuck() string {
+	var sb []byte
+	n := 0
+	for _, vs := range cs.vus {
+		if vs == nil || vs.done || !vs.isCounterDriven() || n >= 32 {
+			continue
+		}
+		for _, es := range append(append([]*edgeState{}, vs.inFire...), vs.holdIn...) {
+			if es.occ < 1 {
+				sb = fmt.Appendf(sb, "; %s%s waits on %s (fired %d/%d)",
+					vs.u.Name, vs.u.Instance, es.e.Label, vs.fired, vs.total)
+				n++
+				break
+			}
+		}
+		for _, es := range vs.outFire {
+			if es.space() < 1 {
+				sb = fmt.Appendf(sb, "; %s%s blocked on full %s occ=%d inflight=%d cap=%d (fired %d/%d)",
+					vs.u.Name, vs.u.Instance, es.e.Label, es.occ, es.inflight(), es.cap, vs.fired, vs.total)
+				n++
+				break
+			}
+		}
+		for _, lvl := range vs.wrapLevels() {
+			for _, es := range vs.pushAt[lvl] {
+				if es.space() < 1 {
+					sb = fmt.Appendf(sb, "; %s%s blocked pushing %s occ=%d cap=%d (fired %d/%d)",
+						vs.u.Name, vs.u.Instance, es.e.Label, es.occ, es.cap, vs.fired, vs.total)
+					n++
+				}
+			}
+		}
+	}
+	if n == 0 {
+		return "no blocked counter-driven unit found"
+	}
+	return string(sb)
+}

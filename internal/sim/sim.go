@@ -1,0 +1,103 @@
+// Package sim executes a compiled SARA design and reports its runtime in
+// accelerator cycles, standing in for the paper's cycle-accurate
+// Plasticine + Ramulator simulator (paper §IV-a).
+//
+// Two engines share one input:
+//
+//   - Cycle: a cycle-level dataflow simulation of the placed VUDFG — chained
+//     counters, stream buffers with finite depth and network fill latency,
+//     CMMC tokens and credits with push/pop at counter wraps, per-port VMU
+//     service with single-read-stream arbitration, DRAM channel queueing.
+//     Exact but linear in cycles; used for tests, validation, and small runs.
+//   - Analytic: a steady-state bottleneck model — per-unit initiation
+//     intervals from DRAM bandwidth shares, VMU read serialization, credit
+//     round trips, unretimed slack, and do-while serialization — plus
+//     pipeline fill. Validated against Cycle in the test suite and used for
+//     the paper-scale sweeps, where the cycle engine would be too slow.
+//
+// Both report the same Result shape so the evaluation harness can swap them.
+package sim
+
+import (
+	"sara/internal/arch"
+	"sara/internal/dfg"
+	"sara/internal/dram"
+	"sara/internal/merge"
+	"sara/internal/place"
+)
+
+// Design bundles everything needed to execute a compiled program.
+type Design struct {
+	G    *dfg.Graph
+	Spec *arch.Spec
+	// Merge and Placement are optional; when nil, every unit is its own PU
+	// and streams are charged a fixed default hop distance.
+	Merge     *merge.Result
+	Placement *place.Placement
+}
+
+// defaultHops is the stream distance assumed when no placement is available.
+const defaultHops = 4
+
+// hops returns the network distance of an edge in switch hops.
+func (d *Design) hops(e *dfg.Edge) int {
+	if d.Placement != nil && d.Merge != nil {
+		return d.Placement.EdgeHops(d.Merge, e.Src, e.Dst)
+	}
+	return defaultHops
+}
+
+// edgeLatency returns the cycle latency a stream element spends in flight.
+func (d *Design) edgeLatency(e *dfg.Edge) int {
+	h := d.hops(e)
+	if h == 0 {
+		return 1
+	}
+	return (h + 1) * d.Spec.NetHopLatencyCycles
+}
+
+// Result is an execution report.
+type Result struct {
+	// Cycles is the end-to-end runtime in accelerator cycles.
+	Cycles int64
+	// Engine names the engine that produced the result.
+	Engine string
+	// BottleneckVU names the unit that bounds steady-state throughput.
+	BottleneckVU string
+	// BottleneckII is that unit's effective initiation interval.
+	BottleneckII float64
+	// ComputeBusy is the aggregate busy fraction over compute-class units.
+	ComputeBusy float64
+	// DRAM reports memory-system counters (cycle engine only).
+	DRAM dram.Stats
+	// FiredTotal is the total firings executed (cycle engine only).
+	FiredTotal int64
+	// Stalls breaks blocked unit-cycles down by cause (cycle engine only):
+	// "input-starved", "output-blocked", "token-wait".
+	Stalls map[string]int64
+	// TopUnits lists the busiest units (cycle engine only), most active
+	// first — where the machine's time actually went.
+	TopUnits []UnitStat
+}
+
+// UnitStat is one unit's activity summary from a cycle-level run.
+type UnitStat struct {
+	Name   string
+	Fired  int64
+	Busy   float64 // fired / total cycles
+	Stalls int64   // blocked unit-cycles, all causes
+}
+
+// Seconds converts cycles to seconds at the design's clock.
+func (r *Result) Seconds(spec *arch.Spec) float64 {
+	return float64(r.Cycles) / (spec.ClockGHz * 1e9)
+}
+
+// elemBytes returns the datapath element size in bytes.
+func elemBytes(d *Design) int {
+	b := d.G.Prog.TypeBits / 8
+	if b <= 0 {
+		b = 4
+	}
+	return b
+}

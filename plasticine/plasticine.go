@@ -1,0 +1,39 @@
+// Package plasticine exposes the target RDA architecture descriptions: the
+// Plasticine chip configurations SARA compiles to (paper §II, §IV-a).
+package plasticine
+
+import "sara/internal/arch"
+
+// Spec is a full chip configuration: unit counts and capabilities, network
+// parameters, and the DRAM system.
+type Spec = arch.Spec
+
+// PUSpec describes one physical-unit type's capabilities.
+type PUSpec = arch.PUSpec
+
+// DRAMSpec describes the off-chip memory system.
+type DRAMSpec = arch.DRAMSpec
+
+// PUType enumerates physical-unit types.
+type PUType = arch.PUType
+
+// Physical-unit types.
+const (
+	PCU = arch.PCU
+	PMU = arch.PMU
+	AG  = arch.AG
+)
+
+// DRAM technologies.
+const (
+	HBM2 = arch.HBM2
+	DDR3 = arch.DDR3
+)
+
+// SARA20x20 returns the paper's evaluation target: a 20×20 Plasticine with
+// 420 physical units and 1 TB/s HBM2 (paper §IV-a).
+func SARA20x20() *Spec { return arch.SARA20x20() }
+
+// V1 returns the original Plasticine paper's 16×8 configuration with
+// 49 GB/s DDR3, used for the vanilla-compiler comparison (paper §IV-C).
+func V1() *Spec { return arch.PlasticineV1() }

@@ -1,0 +1,244 @@
+package spatial
+
+import (
+	"fmt"
+
+	"sara/internal/ir"
+)
+
+// Builder constructs a Program scope by scope. Loop- and branch-building
+// methods take callbacks that run with the builder's current scope moved
+// inside the new controller, so program text nests the way the control
+// hierarchy does.
+//
+// Builder methods panic on structural misuse (e.g. reading a FIFO at a random
+// address); Build runs full validation and returns any remaining errors.
+type Builder struct {
+	p      *ir.Program
+	cur    ir.CtrlID
+	clause ir.BranchClause
+	nAcc   int
+}
+
+// NewBuilder returns a Builder for a new empty program.
+func NewBuilder(name string) *Builder {
+	return &Builder{p: ir.NewProgram(name)}
+}
+
+// Build validates the program and returns it.
+func (b *Builder) Build() (*Program, error) {
+	if err := b.p.Validate(); err != nil {
+		return nil, fmt.Errorf("spatial: invalid program %q: %w", b.p.Name, err)
+	}
+	return b.p, nil
+}
+
+// MustBuild is Build that panics on error, for tests and examples.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Raw returns the program under construction without validating. Useful for
+// negative tests.
+func (b *Builder) Raw() *Program { return b.p }
+
+// SetTypeBits sets the datapath element width in bits (default 32).
+func (b *Builder) SetTypeBits(bits int) { b.p.TypeBits = bits }
+
+// DRAM declares an off-chip tensor with the given dimensions (elements).
+func (b *Builder) DRAM(name string, dims ...int) *Mem {
+	return b.p.AddMem(ir.MemDRAM, name, dims...)
+}
+
+// SRAM declares an on-chip scratchpad with the given dimensions (elements).
+func (b *Builder) SRAM(name string, dims ...int) *Mem {
+	return b.p.AddMem(ir.MemSRAM, name, dims...)
+}
+
+// Reg declares a scalar register.
+func (b *Builder) Reg(name string) *Mem {
+	return b.p.AddMem(ir.MemReg, name)
+}
+
+// FIFO declares an on-chip streaming queue with the given depth (elements).
+func (b *Builder) FIFO(name string, depth int) *Mem {
+	return b.p.AddMem(ir.MemFIFO, name, depth)
+}
+
+// addCtrl creates a controller in the current scope, tagging it with the
+// active branch clause when the scope is a branch.
+func (b *Builder) addCtrl(kind ir.CtrlKind, name string) *ir.Ctrl {
+	c := b.p.AddCtrl(kind, name, b.cur)
+	if b.p.Ctrl(b.cur).Kind == ir.CtrlBranch {
+		c.Clause = b.clause
+	}
+	return c
+}
+
+// in runs body with the current scope moved inside ctrl.
+func (b *Builder) in(ctrl ir.CtrlID, body func()) {
+	prev := b.cur
+	b.cur = ctrl
+	defer func() { b.cur = prev }()
+	body()
+}
+
+// For adds a counted loop for (i = min; i < max; i += step) with the given
+// parallelization factor, and runs body inside it. par <= 0 means 1.
+func (b *Builder) For(name string, min, max, step, par int, body func(Iter)) Iter {
+	if step <= 0 {
+		panic(fmt.Sprintf("spatial: loop %s: step must be positive, got %d", name, step))
+	}
+	if par <= 0 {
+		par = 1
+	}
+	c := b.addCtrl(ir.CtrlLoop, name)
+	c.Min, c.Max, c.Step, c.Par = min, max, step, par
+	c.Trip = (max - min + step - 1) / step
+	if c.Trip < 1 {
+		c.Trip = 1
+	}
+	it := Iter{ctrl: c.ID}
+	b.in(c.ID, func() { body(it) })
+	return it
+}
+
+// ForDyn adds a loop with data-dependent bounds. bounds builds the hyperblock
+// that computes min/step/max; it is scheduled in the enclosing scope and its
+// results stream into the loop as data dependencies (paper §III-A2a).
+// expectedTrip is the trip count assumed for performance estimation.
+func (b *Builder) ForDyn(name string, expectedTrip, par int, bounds func(*Block), body func(Iter)) Iter {
+	if par <= 0 {
+		par = 1
+	}
+	if expectedTrip < 1 {
+		expectedTrip = 1
+	}
+	bb := b.Block(name+".bounds", bounds)
+	c := b.addCtrl(ir.CtrlLoopDyn, name)
+	c.Trip = expectedTrip
+	c.Par = par
+	c.BoundsBlock = bb
+	it := Iter{ctrl: c.ID}
+	b.in(c.ID, func() { body(it) })
+	return it
+}
+
+// While adds a do-while loop. body builds the loop body; cond builds the
+// hyperblock computing the continuation condition, scheduled as the last
+// child of the loop. The condition is a data dependency of every controller
+// in the body, giving the loop its long initiation interval (paper §III-A2c).
+func (b *Builder) While(name string, expectedTrip int, body func(Iter), cond func(*Block)) Iter {
+	if expectedTrip < 1 {
+		expectedTrip = 1
+	}
+	c := b.addCtrl(ir.CtrlWhile, name)
+	c.Trip = expectedTrip
+	it := Iter{ctrl: c.ID}
+	b.in(c.ID, func() {
+		body(it)
+		c.BoundsBlock = b.Block(name+".cond", cond)
+	})
+	return it
+}
+
+// If adds an outer branch. cond builds the condition hyperblock; then and els
+// build the clause bodies (els may be nil). Controllers created directly in a
+// clause are tagged so lowering can gate them on the broadcast condition
+// (paper §III-A2b).
+func (b *Builder) If(name string, cond func(*Block), then func(), els func()) {
+	c := b.addCtrl(ir.CtrlBranch, name)
+	b.in(c.ID, func() {
+		c.CondBlock = b.Block(name+".cond", cond)
+		prev := b.clause
+		b.clause = ir.ClauseThen
+		then()
+		if els != nil {
+			b.clause = ir.ClauseElse
+			els()
+		}
+		b.clause = prev
+	})
+}
+
+// Block adds a hyperblock in the current scope and runs build on it.
+func (b *Builder) Block(name string, build func(*Block)) CtrlID {
+	c := b.addCtrl(ir.CtrlBlock, name)
+	blk := &Block{b: b, id: c.ID}
+	if build != nil {
+		build(blk)
+	}
+	return c.ID
+}
+
+// Block is a hyperblock under construction. Op-building methods return op
+// indices within the block, usable as inputs of later ops; pass External for
+// values produced outside the block (iterators, constants, streamed
+// dependencies).
+type Block struct {
+	b  *Builder
+	id ir.CtrlID
+}
+
+// External marks a block-external op input.
+const External = -1
+
+// ID returns the hyperblock's controller id.
+func (blk *Block) ID() CtrlID { return blk.id }
+
+// Op appends a datapath op and returns its index.
+func (blk *Block) Op(kind OpKind, inputs ...int) int {
+	return blk.b.p.AddOp(blk.id, kind, inputs...)
+}
+
+// OpChain appends n ops of kind k in a linear dependence chain and returns
+// the last index. Use it to model a block's compute by op count and depth.
+func (blk *Block) OpChain(kind OpKind, n int) int {
+	return blk.b.p.AddOpChain(blk.id, kind, n)
+}
+
+// Accum appends a loop-carried accumulation of src and returns its index.
+func (blk *Block) Accum(src int) int {
+	i := blk.b.p.AddOp(blk.id, ir.OpAccum, src)
+	blk.b.p.Ctrl(blk.id).Ops[i].LCD = true
+	return i
+}
+
+// Counter materializes the iterator of loop i into the datapath.
+func (blk *Block) Counter(i Iter) int {
+	return blk.b.p.AddOp(blk.id, ir.OpCounter)
+}
+
+// Read issues a read access against m with the given address pattern and
+// returns the op index of the loaded value.
+func (blk *Block) Read(m *Mem, pat Pattern) int {
+	a := blk.addAccess(m, ir.Read, pat)
+	i := blk.b.p.AddOp(blk.id, ir.OpLoad)
+	blk.b.p.Ctrl(blk.id).Ops[i].Acc = a.ID
+	return i
+}
+
+// Write issues a write access against m whose stored value is produced
+// outside the block (e.g. streamed in), and returns the access.
+func (blk *Block) Write(m *Mem, pat Pattern) *Access {
+	return blk.WriteFrom(m, pat, External)
+}
+
+// WriteFrom issues a write access against m storing the value of op src and
+// returns the access.
+func (blk *Block) WriteFrom(m *Mem, pat Pattern, src int) *Access {
+	a := blk.addAccess(m, ir.Write, pat)
+	i := blk.b.p.AddOp(blk.id, ir.OpStore, src)
+	blk.b.p.Ctrl(blk.id).Ops[i].Acc = a.ID
+	return a
+}
+
+func (blk *Block) addAccess(m *Mem, dir ir.Dir, pat Pattern) *Access {
+	name := fmt.Sprintf("%s%d.%s", dir, blk.b.nAcc, m.Name)
+	blk.b.nAcc++
+	return blk.b.p.AddAccess(blk.id, m.ID, dir, pat, name)
+}

@@ -1,0 +1,148 @@
+package spatial_test
+
+import (
+	"strings"
+	"testing"
+
+	"sara/spatial"
+)
+
+func TestBuilderNestedLoops(t *testing.T) {
+	b := spatial.NewBuilder("nest")
+	x := b.DRAM("x", 1024)
+	s := b.SRAM("tile", 64)
+	b.For("i", 0, 16, 1, 2, func(i spatial.Iter) {
+		b.Block("load", func(blk *spatial.Block) {
+			v := blk.Read(x, spatial.Streaming())
+			blk.WriteFrom(s, spatial.Affine(0, spatial.Term(i, 1)), v)
+		})
+		b.For("j", 0, 64, 1, 16, func(j spatial.Iter) {
+			b.Block("compute", func(blk *spatial.Block) {
+				v := blk.Read(s, spatial.Affine(0, spatial.Term(j, 1)))
+				m := blk.Op(spatial.OpMul, v, v)
+				blk.Accum(m)
+			})
+		})
+	})
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if got := len(p.Blocks()); got != 2 {
+		t.Fatalf("blocks = %d, want 2", got)
+	}
+	d := p.Dump()
+	if !strings.Contains(d, "loop i trip=16 par=2") || !strings.Contains(d, "loop j trip=64 par=16") {
+		t.Errorf("unexpected dump:\n%s", d)
+	}
+	if len(p.Accs) != 3 {
+		t.Errorf("accesses = %d, want 3", len(p.Accs))
+	}
+}
+
+func TestBuilderBranch(t *testing.T) {
+	b := spatial.NewBuilder("branch")
+	m := b.SRAM("mem", 32)
+	b.For("a", 0, 8, 1, 1, func(a spatial.Iter) {
+		b.If("even",
+			func(blk *spatial.Block) { blk.Op(spatial.OpCmp, spatial.External) },
+			func() {
+				b.For("d", 0, 4, 1, 1, func(d spatial.Iter) {
+					b.Block("w", func(blk *spatial.Block) {
+						blk.Write(m, spatial.Affine(0, spatial.Term(d, 1)))
+					})
+				})
+			},
+			func() {
+				b.For("f", 0, 4, 1, 1, func(f spatial.Iter) {
+					b.Block("r", func(blk *spatial.Block) {
+						blk.Read(m, spatial.Affine(0, spatial.Term(f, 1)))
+					})
+				})
+			})
+	})
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	// Find the branch and check clause tags.
+	var nThen, nElse int
+	p.Walk(func(c *spatial.Ctrl) {
+		if c.Kind != spatial.CtrlBranch {
+			return
+		}
+		for _, ch := range c.Children {
+			switch p.Ctrl(ch).Clause {
+			case 1: // ClauseThen
+				nThen++
+			case 2: // ClauseElse
+				nElse++
+			}
+		}
+	})
+	if nThen != 1 || nElse != 1 {
+		t.Errorf("clause children then=%d else=%d, want 1/1", nThen, nElse)
+	}
+}
+
+func TestBuilderWhileAndDyn(t *testing.T) {
+	b := spatial.NewBuilder("dyn")
+	b.While("conv", 20, func(i spatial.Iter) {
+		b.Block("body", func(blk *spatial.Block) { blk.OpChain(spatial.OpFMA, 8) })
+	}, func(blk *spatial.Block) {
+		blk.Op(spatial.OpCmp, spatial.External)
+	})
+	b.ForDyn("rows", 100, 4,
+		func(blk *spatial.Block) { blk.Op(spatial.OpRand) },
+		func(i spatial.Iter) {
+			b.Block("body2", func(blk *spatial.Block) { blk.OpChain(spatial.OpAdd, 3) })
+		})
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	var haveWhile, haveDyn bool
+	p.Walk(func(c *spatial.Ctrl) {
+		switch c.Kind {
+		case spatial.CtrlWhile:
+			haveWhile = true
+			if c.BoundsBlock < 0 {
+				t.Error("while loop missing condition block")
+			}
+			if c.Trip != 20 {
+				t.Errorf("while trip = %d, want 20", c.Trip)
+			}
+		case spatial.CtrlLoopDyn:
+			haveDyn = true
+			if c.BoundsBlock < 0 {
+				t.Error("dynamic loop missing bounds block")
+			}
+		}
+	})
+	if !haveWhile || !haveDyn {
+		t.Errorf("missing controllers: while=%v dyn=%v", haveWhile, haveDyn)
+	}
+}
+
+func TestBuilderRejectsIndexedFIFO(t *testing.T) {
+	b := spatial.NewBuilder("fifo")
+	f := b.FIFO("q", 16)
+	b.For("i", 0, 4, 1, 1, func(i spatial.Iter) {
+		b.Block("bad", func(blk *spatial.Block) {
+			blk.Read(f, spatial.Random())
+		})
+	})
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected validation error for random-indexed FIFO")
+	}
+}
+
+func TestBuilderStepPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-positive step")
+		}
+	}()
+	b := spatial.NewBuilder("bad")
+	b.For("i", 0, 4, 0, 1, func(spatial.Iter) {})
+}

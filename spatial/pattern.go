@@ -1,0 +1,43 @@
+package spatial
+
+import "sara/internal/ir"
+
+// Iter is a handle to a loop's iterator, used to build affine address
+// patterns. Loop-construction callbacks receive the Iter of the loop they
+// define.
+type Iter struct {
+	ctrl ir.CtrlID
+}
+
+// CtrlID returns the controller the iterator belongs to.
+func (i Iter) CtrlID() CtrlID { return i.ctrl }
+
+// AffineTerm is one coefficient·iterator term of an affine address.
+type AffineTerm struct {
+	Iter  Iter
+	Coeff int
+}
+
+// Term builds an AffineTerm.
+func Term(i Iter, coeff int) AffineTerm { return AffineTerm{Iter: i, Coeff: coeff} }
+
+// Affine returns an affine address pattern offset + Σ coeffᵢ·iterᵢ.
+func Affine(offset int, terms ...AffineTerm) Pattern {
+	coeffs := make(map[ir.CtrlID]int, len(terms))
+	for _, t := range terms {
+		coeffs[t.Iter.ctrl] += t.Coeff
+	}
+	return Pattern{Kind: PatAffine, Coeffs: coeffs, Offset: offset}
+}
+
+// Streaming returns a sequential-scan address pattern (unit stride in
+// iteration order). DRAM transfers and FIFO accesses use this.
+func Streaming() Pattern { return Pattern{Kind: PatStreaming} }
+
+// Constant returns a fixed-address pattern.
+func Constant(addr int) Pattern { return Pattern{Kind: PatConstant, Offset: addr} }
+
+// Random returns a data-dependent (gather/scatter) address pattern, e.g.
+// graph neighbour lookups. Random patterns disable static bank-crossbar
+// elimination and credit relaxation.
+func Random() Pattern { return Pattern{Kind: PatRandom} }

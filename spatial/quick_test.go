@@ -1,0 +1,124 @@
+package spatial_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sara/spatial"
+)
+
+// randomProgram drives the builder with a random mix of constructs.
+func randomProgram(rng *rand.Rand) *spatial.Program {
+	b := spatial.NewBuilder("q")
+	mems := []*spatial.Mem{b.SRAM("m0", 64), b.SRAM("m1", 128), b.Reg("r")}
+	x := b.DRAM("x", 1<<16)
+
+	var emit func(depth int)
+	emit = func(depth int) {
+		n := 1 + rng.Intn(3)
+		for k := 0; k < n; k++ {
+			switch {
+			case depth < 3 && rng.Intn(3) == 0:
+				b.For("l", 0, 1+rng.Intn(32), 1, 1<<rng.Intn(5), func(spatial.Iter) {
+					emit(depth + 1)
+				})
+			case depth < 3 && rng.Intn(5) == 0:
+				b.If("c",
+					func(blk *spatial.Block) { blk.Op(spatial.OpCmp, spatial.External) },
+					func() { emit(depth + 1) },
+					func() { emit(depth + 1) })
+			default:
+				m := mems[rng.Intn(len(mems))]
+				b.For("i", 0, 1+rng.Intn(16), 1, 1, func(i spatial.Iter) {
+					b.Block("blk", func(blk *spatial.Block) {
+						if rng.Intn(2) == 0 {
+							v := blk.Read(x, spatial.Streaming())
+							pat := spatial.Affine(0, spatial.Term(i, 1))
+							if m.Kind == spatial.MemReg {
+								pat = spatial.Constant(0)
+							}
+							blk.WriteFrom(m, pat, v)
+						} else {
+							pat := spatial.Affine(0, spatial.Term(i, 1))
+							if m.Kind == spatial.MemReg {
+								pat = spatial.Constant(0)
+							}
+							v := blk.Read(m, pat)
+							blk.OpChain(spatial.OpAdd, 1+rng.Intn(4))
+							blk.Accum(v)
+						}
+					})
+				})
+			}
+		}
+	}
+	emit(0)
+	return b.MustBuild()
+}
+
+// TestQuickBuilderInvariants: anything the builder produces passes the IR
+// validator and keeps its structural invariants — children point back to
+// parents, accessor registration is bidirectional, and program order is a
+// total order over controllers.
+func TestQuickBuilderInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomProgram(rng)
+		if p.Validate() != nil {
+			return false
+		}
+		// Pre-order is dense and total.
+		order := p.ProgramOrder()
+		if len(order) != len(p.Ctrls) {
+			return false
+		}
+		seen := make([]bool, len(p.Ctrls))
+		for _, idx := range order {
+			if idx < 0 || idx >= len(p.Ctrls) || seen[idx] {
+				return false
+			}
+			seen[idx] = true
+		}
+		// Accessor registration is bidirectional.
+		for _, m := range p.Mems {
+			for _, aid := range m.Accessors {
+				if p.Access(aid).Mem != m.ID {
+					return false
+				}
+			}
+		}
+		for _, a := range p.Accs {
+			found := false
+			for _, aid := range p.Mem(a.Mem).Accessors {
+				if aid == a.ID {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickLCASymmetricAndDominant: LCA is symmetric and an ancestor of both
+// arguments for arbitrary controller pairs of random programs.
+func TestQuickLCASymmetricAndDominant(t *testing.T) {
+	f := func(seed int64, aRaw, bRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomProgram(rng)
+		a := spatial.CtrlID(int(aRaw) % len(p.Ctrls))
+		bb := spatial.CtrlID(int(bRaw) % len(p.Ctrls))
+		l1 := p.LCA(a, bb)
+		l2 := p.LCA(bb, a)
+		return l1 == l2 && p.IsAncestor(l1, a) && p.IsAncestor(l1, bb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

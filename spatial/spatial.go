@@ -1,0 +1,132 @@
+// Package spatial is SARA's frontend: an embedded Go DSL for writing
+// single-threaded imperative programs as nested loop hierarchies, the same
+// abstraction the Spatial language (Koeplinger et al.) provides on top of
+// SARA in the paper.
+//
+// A program is a tree of controllers — counted loops, dynamically bounded
+// loops, do-while loops, and branches — whose leaves are hyperblocks holding
+// straight-line operation dataflow graphs and memory accesses. Each loop
+// carries an independent parallelization factor: parallelizing an innermost
+// loop vectorizes along the accelerator's SIMD lanes, while parallelizing an
+// outer loop spatially unrolls its subtree across distributed compute units
+// (paper §II-A).
+//
+// Build programs with a Builder:
+//
+//	b := spatial.NewBuilder("dot")
+//	x := b.DRAM("x", n)
+//	y := b.DRAM("y", n)
+//	acc := b.Reg("acc")
+//	b.For("i", 0, n, 1, 16, func(i spatial.Iter) {
+//		b.Block("mac", func(blk *spatial.Block) {
+//			xv := blk.Read(x, spatial.Streaming())
+//			yv := blk.Read(y, spatial.Streaming())
+//			m := blk.Op(spatial.OpMul, xv, yv)
+//			s := blk.Accum(m)
+//			blk.WriteFrom(acc, spatial.Constant(0), s)
+//		})
+//	})
+//	prog, err := b.Build()
+//
+// The resulting Program is what sara.Compile consumes.
+package spatial
+
+import "sara/internal/ir"
+
+// Program is a complete frontend program: the control hierarchy plus its
+// memories and accesses.
+type Program = ir.Program
+
+// Ctrl is one controller node of the control hierarchy.
+type Ctrl = ir.Ctrl
+
+// CtrlID identifies a controller within a Program.
+type CtrlID = ir.CtrlID
+
+// CtrlKind enumerates controller kinds.
+type CtrlKind = ir.CtrlKind
+
+// Controller kinds.
+const (
+	CtrlRoot    = ir.CtrlRoot
+	CtrlLoop    = ir.CtrlLoop
+	CtrlLoopDyn = ir.CtrlLoopDyn
+	CtrlWhile   = ir.CtrlWhile
+	CtrlBranch  = ir.CtrlBranch
+	CtrlBlock   = ir.CtrlBlock
+)
+
+// Mem is a logical memory (on-chip scratchpad, register, FIFO, or off-chip
+// DRAM tensor).
+type Mem = ir.Mem
+
+// MemID identifies a memory within a Program.
+type MemID = ir.MemID
+
+// MemKind enumerates memory kinds.
+type MemKind = ir.MemKind
+
+// Memory kinds.
+const (
+	MemSRAM = ir.MemSRAM
+	MemReg  = ir.MemReg
+	MemFIFO = ir.MemFIFO
+	MemDRAM = ir.MemDRAM
+)
+
+// Access is one static memory access site.
+type Access = ir.Access
+
+// AccessID identifies an access within a Program.
+type AccessID = ir.AccessID
+
+// Dir is an access direction.
+type Dir = ir.Dir
+
+// Access directions.
+const (
+	Read  = ir.Read
+	Write = ir.Write
+)
+
+// Pattern describes an access's address pattern.
+type Pattern = ir.Pattern
+
+// PatternKind classifies address patterns.
+type PatternKind = ir.PatternKind
+
+// Address pattern kinds.
+const (
+	PatConstant  = ir.PatConstant
+	PatAffine    = ir.PatAffine
+	PatStreaming = ir.PatStreaming
+	PatRandom    = ir.PatRandom
+)
+
+// OpKind enumerates hyperblock datapath operations.
+type OpKind = ir.OpKind
+
+// Datapath operations.
+const (
+	OpAdd     = ir.OpAdd
+	OpSub     = ir.OpSub
+	OpMul     = ir.OpMul
+	OpDiv     = ir.OpDiv
+	OpFMA     = ir.OpFMA
+	OpMin     = ir.OpMin
+	OpMax     = ir.OpMax
+	OpExp     = ir.OpExp
+	OpLog     = ir.OpLog
+	OpSqrt    = ir.OpSqrt
+	OpSigmoid = ir.OpSigmoid
+	OpTanh    = ir.OpTanh
+	OpCmp     = ir.OpCmp
+	OpMux     = ir.OpMux
+	OpReduce  = ir.OpReduce
+	OpAccum   = ir.OpAccum
+	OpCounter = ir.OpCounter
+	OpLoad    = ir.OpLoad
+	OpStore   = ir.OpStore
+	OpShuffle = ir.OpShuffle
+	OpRand    = ir.OpRand
+)
