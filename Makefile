@@ -1,0 +1,32 @@
+# Tier-1 gate: `make ci` must pass before merging. Pure Go, no dependencies.
+
+GO ?= go
+
+.PHONY: ci fmt vet build test race bench serve
+
+ci: fmt vet build race
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Run the compile-and-simulate daemon locally.
+serve:
+	$(GO) run ./cmd/sarad -addr :8080

@@ -1,0 +1,74 @@
+// Command sarad serves the SARA compile-and-simulate flow over HTTP: POST a
+// spatial program (inline JSON or a registered workload name) plus a chip
+// spec and compiler options, get back resources and a simulation report.
+// Identical requests share one compilation through a content-addressed LRU
+// cache; a bounded worker pool sheds load with 429 once saturated; /metrics
+// exposes counters and latency histograms.
+//
+// Usage:
+//
+//	sarad [-addr :8080] [-workers N] [-queue N] [-cache N] [-timeout 120s]
+//
+// Example requests:
+//
+//	curl -s localhost:8080/v1/workloads
+//	curl -s localhost:8080/v1/run -d '{"workload":"bs","par":16,"scale":64,"engine":"analytic"}'
+//	curl -s localhost:8080/metrics
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"sara/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", runtime.NumCPU(), "max concurrently executing compile/simulate jobs")
+		queue   = flag.Int("queue", 16, "job waiting room beyond the workers (full queue => 429)")
+		cache   = flag.Int("cache", 64, "compiled designs kept in the content-addressed LRU cache")
+		timeout = flag.Duration("timeout", 120*time.Second, "default and maximum per-request timeout")
+		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	)
+	flag.Parse()
+
+	svc := server.New(server.Options{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cache,
+		DefaultTimeout: *timeout,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("sarad: listening on %s (%d workers, queue %d, cache %d)", *addr, *workers, *queue, *cache)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("sarad: %s, draining for up to %s", sig, *drain)
+	case err := <-errc:
+		log.Fatalf("sarad: serve: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("sarad: http shutdown: %v", err)
+	}
+	if err := svc.Close(ctx); err != nil {
+		log.Printf("sarad: job drain: %v", err)
+	}
+	log.Print("sarad: bye")
+}

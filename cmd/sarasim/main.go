@@ -4,10 +4,11 @@
 //
 // Usage:
 //
-//	sarasim -workload bs -par 64 [-engine cycle|analytic] [-chip 20x20|v1] [-scale 1]
+//	sarasim -workload bs -par 64 [-engine cycle|analytic] [-chip 20x20|v1] [-scale 1] [-json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +28,7 @@ func main() {
 		chip   = flag.String("chip", "20x20", "target chip: 20x20 (HBM2) or v1 (DDR3)")
 		engine = flag.String("engine", "cycle", "execution engine: cycle or analytic")
 		top    = flag.Bool("top", false, "show the busiest units")
+		asJSON = flag.Bool("json", false, "emit the result as JSON (the sarad wire encoding)")
 	)
 	flag.Parse()
 
@@ -59,6 +61,16 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simulate:", err)
 		os.Exit(1)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(r.JSON(cfg.Spec)); err != nil {
+			fmt.Fprintln(os.Stderr, "json:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	fmt.Printf("workload   %s (par %d, scale %d) on %s [%s]\n", w.Name, *par, *scale, cfg.Spec.Name, r.Engine)

@@ -126,6 +126,13 @@ type Spec struct {
 	// network; control signals crossing the chip take tens of cycles
 	// (paper §II-B).
 	NetHopLatencyCycles int
+	// DefaultStreamHops is the switch-hop distance the simulator charges a
+	// stream when the compiled design carries no placement — either because
+	// compilation skipped the placer (fast design-space sweeps) or because a
+	// sim.Design was assembled without merge/placement results. Zero or
+	// negative falls back to the simulator's built-in default, so
+	// hand-constructed Specs keep their historical behaviour.
+	DefaultStreamHops int
 	// LinkLanes is the vector width of one network link.
 	LinkLanes int
 	// ReconfigMicros is the full-chip reconfiguration time (paper §II-A c).
@@ -202,6 +209,7 @@ func SARA20x20() *Spec {
 		},
 		ClockGHz:            1.0,
 		NetHopLatencyCycles: 2,
+		DefaultStreamHops:   4,
 		LinkLanes:           16,
 		ReconfigMicros:      20,
 		AreaMM2:             98, // ≈12% of a 815 mm² V100 (paper abstract)

@@ -1,0 +1,67 @@
+package arch
+
+import "fmt"
+
+// SpecJSON is the wire form of a chip configuration: a named preset, an
+// optional generation-scaling factor, and optional field overrides. It is
+// what the sarad serving API accepts as the "arch" member of a request, and
+// its zero value means "the paper's default 20×20 HBM2 chip".
+//
+// Overrides with a zero value keep the preset's setting, so a request only
+// states what it changes.
+type SpecJSON struct {
+	// Preset selects the base configuration: "20x20" (default) or "v1".
+	Preset string `json:"preset,omitempty"`
+	// Scale applies Spec.Scaled with the given factor (≥ 2 to take effect),
+	// emulating larger chip generations.
+	Scale int `json:"scale,omitempty"`
+
+	ClockGHz            float64 `json:"clock_ghz,omitempty"`
+	DRAMChannels        int     `json:"dram_channels,omitempty"`
+	NetHopLatencyCycles int     `json:"net_hop_latency_cycles,omitempty"`
+	DefaultStreamHops   int     `json:"default_stream_hops,omitempty"`
+	NumPCU              int     `json:"num_pcu,omitempty"`
+	NumPMU              int     `json:"num_pmu,omitempty"`
+	NumAG               int     `json:"num_ag,omitempty"`
+}
+
+// Spec materializes the request into a validated chip configuration.
+func (j *SpecJSON) Spec() (*Spec, error) {
+	var s *Spec
+	switch j.Preset {
+	case "", "20x20", "sara20x20":
+		s = SARA20x20()
+	case "v1", "plasticine-v1":
+		s = PlasticineV1()
+	default:
+		return nil, fmt.Errorf("arch: unknown preset %q (want 20x20 or v1)", j.Preset)
+	}
+	if j.Scale > 1 {
+		s = s.Scaled(j.Scale)
+	}
+	if j.ClockGHz > 0 {
+		s.ClockGHz = j.ClockGHz
+	}
+	if j.DRAMChannels > 0 {
+		s.DRAM.Channels = j.DRAMChannels
+	}
+	if j.NetHopLatencyCycles > 0 {
+		s.NetHopLatencyCycles = j.NetHopLatencyCycles
+	}
+	if j.DefaultStreamHops > 0 {
+		s.DefaultStreamHops = j.DefaultStreamHops
+	}
+	if j.NumPCU > 0 {
+		s.NumPCU = j.NumPCU
+	}
+	if j.NumPMU > 0 {
+		s.NumPMU = j.NumPMU
+	}
+	if j.NumAG > 0 {
+		s.NumAG = j.NumAG
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,53 @@
+package arch
+
+import "testing"
+
+func TestSpecJSONDefaults(t *testing.T) {
+	s, err := (&SpecJSON{}).Spec()
+	if err != nil {
+		t.Fatalf("Spec: %v", err)
+	}
+	if s.Name != SARA20x20().Name {
+		t.Errorf("empty request should yield the 20x20 preset, got %s", s.Name)
+	}
+	if s.DefaultStreamHops != 4 {
+		t.Errorf("DefaultStreamHops = %d, want preset value 4", s.DefaultStreamHops)
+	}
+}
+
+func TestSpecJSONOverrides(t *testing.T) {
+	j := &SpecJSON{
+		Preset:            "v1",
+		ClockGHz:          1.4,
+		DRAMChannels:      8,
+		DefaultStreamHops: 7,
+		NumPCU:            100,
+	}
+	s, err := j.Spec()
+	if err != nil {
+		t.Fatalf("Spec: %v", err)
+	}
+	if s.ClockGHz != 1.4 || s.DRAM.Channels != 8 || s.DefaultStreamHops != 7 || s.NumPCU != 100 {
+		t.Errorf("overrides not applied: %+v", s)
+	}
+	if s.DRAM.Kind != DDR3 {
+		t.Errorf("v1 preset should keep DDR3, got %s", s.DRAM.Kind)
+	}
+}
+
+func TestSpecJSONScale(t *testing.T) {
+	s, err := (&SpecJSON{Scale: 2}).Spec()
+	if err != nil {
+		t.Fatalf("Spec: %v", err)
+	}
+	base := SARA20x20()
+	if s.NumPCU != 2*base.NumPCU || s.DRAM.Channels != 2*base.DRAM.Channels {
+		t.Errorf("scale 2 not applied: %+v", s)
+	}
+}
+
+func TestSpecJSONRejectsUnknownPreset(t *testing.T) {
+	if _, err := (&SpecJSON{Preset: "40x40"}).Spec(); err == nil {
+		t.Fatal("expected error for unknown preset")
+	}
+}

@@ -1,0 +1,87 @@
+package noc
+
+import "testing"
+
+// TestGridEdgeCases pins down degenerate-geometry behaviour: the 1×1 grid,
+// source == destination routing, and broadcast trees on non-square grids.
+func TestGridEdgeCases(t *testing.T) {
+	cases := []struct {
+		name        string
+		rows, cols  int
+		hopLatency  int
+		src, dst    Coord
+		wantDist    int
+		wantLatency int
+		wantPathLen int
+	}{
+		{"1x1 self", 1, 1, 2, Coord{0, 0}, Coord{0, 0}, 0, 2, 1},
+		{"src==dst on 8x8", 8, 8, 2, Coord{3, 5}, Coord{3, 5}, 0, 2, 1},
+		{"adjacent on 1x2", 1, 2, 3, Coord{0, 0}, Coord{0, 1}, 1, 6, 2},
+		{"tall 16x2 corner to corner", 16, 2, 2, Coord{0, 0}, Coord{15, 1}, 16, 34, 17},
+		{"wide 2x16 corner to corner", 2, 16, 2, Coord{0, 0}, Coord{1, 15}, 16, 34, 17},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := New(tc.rows, tc.cols, tc.hopLatency, 16)
+			if d := g.Dist(tc.src, tc.dst); d != tc.wantDist {
+				t.Errorf("Dist = %d, want %d", d, tc.wantDist)
+			}
+			if l := g.Latency(tc.src, tc.dst); l != tc.wantLatency {
+				t.Errorf("Latency = %d, want %d", l, tc.wantLatency)
+			}
+			path := g.RouteXY(tc.src, tc.dst)
+			if len(path) != tc.wantPathLen {
+				t.Errorf("RouteXY length = %d, want %d (%v)", len(path), tc.wantPathLen, path)
+			}
+			if path[0] != tc.src || path[len(path)-1] != tc.dst {
+				t.Errorf("RouteXY endpoints = %v..%v, want %v..%v", path[0], path[len(path)-1], tc.src, tc.dst)
+			}
+		})
+	}
+}
+
+// TestBroadcastTreeNonSquare checks broadcast hop counts on non-square
+// grids: the tree's latency is that of the farthest destination, measured in
+// Manhattan hops, independent of grid aspect ratio.
+func TestBroadcastTreeNonSquare(t *testing.T) {
+	cases := []struct {
+		name       string
+		rows, cols int
+		src        Coord
+		dsts       []Coord
+		wantHops   int // farthest-destination Manhattan distance
+	}{
+		{"3x7 fan-out along the long axis", 3, 7, Coord{1, 0},
+			[]Coord{{1, 2}, {1, 6}, {0, 3}}, 6},
+		{"7x3 fan-out along the tall axis", 7, 3, Coord{0, 1},
+			[]Coord{{6, 1}, {3, 2}, {1, 0}}, 6},
+		{"corner source on 2x5", 2, 5, Coord{0, 0},
+			[]Coord{{1, 4}, {0, 4}, {1, 0}}, 5},
+		{"destination equals source", 4, 2, Coord{2, 1},
+			[]Coord{{2, 1}}, 0},
+		{"no destinations", 4, 2, Coord{2, 1}, nil, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			const hop = 2
+			g := New(tc.rows, tc.cols, hop, 16)
+			want := 0
+			if len(tc.dsts) > 0 {
+				want = (tc.wantHops + 1) * hop
+			}
+			if l := g.BroadcastLatency(tc.src, tc.dsts); l != want {
+				t.Errorf("BroadcastLatency = %d, want %d", l, want)
+			}
+			// The worst destination really is wantHops away.
+			worst := 0
+			for _, d := range tc.dsts {
+				if h := g.Dist(tc.src, d); h > worst {
+					worst = h
+				}
+			}
+			if worst != tc.wantHops {
+				t.Errorf("test fixture: farthest destination is %d hops, expected %d", worst, tc.wantHops)
+			}
+		})
+	}
+}

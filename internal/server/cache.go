@@ -1,0 +1,121 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"sara/internal/core"
+)
+
+// Cache is a content-addressed compile cache: canonicalized request hash →
+// compiled design. The SARA flow is a deterministic pure function of
+// (program, arch spec, options), so identical requests can safely share one
+// compilation. Entries are evicted least-recently-used beyond a fixed
+// capacity, and concurrent misses on the same key are deduplicated
+// single-flight style: one caller compiles, the rest wait for its result.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	lru      *list.List // front = most recently used; values are *cacheEntry
+	entries  map[string]*list.Element
+	inflight map[string]*flight
+
+	hits, misses, evictions int64
+}
+
+type cacheEntry struct {
+	key string
+	c   *core.Compiled
+}
+
+// flight is one in-progress compilation; waiters block on done.
+type flight struct {
+	done chan struct{}
+	c    *core.Compiled
+	err  error
+}
+
+// NewCache returns a cache holding up to capacity compiled designs
+// (minimum 1).
+func NewCache(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		capacity: capacity,
+		lru:      list.New(),
+		entries:  map[string]*list.Element{},
+		inflight: map[string]*flight{},
+	}
+}
+
+// GetOrCompile returns the design cached under key, compiling it with
+// compile on a miss. The boolean reports a cache hit (including hitting an
+// in-flight compilation started by another caller). Failed compilations are
+// not cached: every waiter of the failing flight receives the error, but the
+// next request retries.
+func (c *Cache) GetOrCompile(key string, compile func() (*core.Compiled, error)) (*core.Compiled, bool, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		compiled := el.Value.(*cacheEntry).c
+		c.mu.Unlock()
+		return compiled, true, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		<-f.done
+		return f.c, true, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.misses++
+	c.mu.Unlock()
+
+	f.c, f.err = compile()
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if f.err == nil {
+		c.insert(key, f.c)
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.c, false, f.err
+}
+
+// insert adds an entry and evicts beyond capacity. Caller holds mu.
+func (c *Cache) insert(key string, compiled *core.Compiled) {
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, c: compiled})
+	for c.lru.Len() > c.capacity {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	Entries, Capacity       int
+	Hits, Misses, Evictions int64
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   c.lru.Len(),
+		Capacity:  c.capacity,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

@@ -1,0 +1,160 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Metrics is a small process-local metrics registry: named counters, lazily
+// evaluated gauges, per-endpoint/status request counters, and fixed-bucket
+// latency histograms, rendered in the Prometheus text exposition format.
+// Everything is stdlib; a real deployment can scrape /metrics as-is.
+type Metrics struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	requests map[requestKey]int64
+	hists    map[string]*histogram
+	gauges   map[string]func() int64
+}
+
+type requestKey struct {
+	endpoint string
+	status   int
+}
+
+// latencyBuckets are the histogram upper bounds in seconds, spanning
+// sub-millisecond cache hits to minute-long solver compilations.
+var latencyBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60}
+
+type histogram struct {
+	counts []int64 // one per bucket, plus +Inf at the end
+	sum    float64
+	n      int64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]int64, len(latencyBuckets)+1)}
+}
+
+func (h *histogram) observe(v float64) {
+	i := sort.SearchFloat64s(latencyBuckets, v)
+	h.counts[i]++
+	h.sum += v
+	h.n++
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters: map[string]int64{},
+		requests: map[requestKey]int64{},
+		hists:    map[string]*histogram{},
+		gauges:   map[string]func() int64{},
+	}
+}
+
+// Add increments the named counter.
+func (m *Metrics) Add(name string, delta int64) {
+	m.mu.Lock()
+	m.counters[name] += delta
+	m.mu.Unlock()
+}
+
+// Counter reads the named counter (0 if never incremented).
+func (m *Metrics) Counter(name string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counters[name]
+}
+
+// Gauge registers a function sampled at render time.
+func (m *Metrics) Gauge(name string, f func() int64) {
+	m.mu.Lock()
+	m.gauges[name] = f
+	m.mu.Unlock()
+}
+
+// ObserveRequest records one served request and its latency.
+func (m *Metrics) ObserveRequest(endpoint string, status int, seconds float64) {
+	m.mu.Lock()
+	m.requests[requestKey{endpoint, status}]++
+	m.mu.Unlock()
+	m.Observe("sarad_request_seconds", seconds)
+}
+
+// Observe adds one sample to the named histogram, creating it on first use.
+func (m *Metrics) Observe(name string, v float64) {
+	m.mu.Lock()
+	h, ok := m.hists[name]
+	if !ok {
+		h = newHistogram()
+		m.hists[name] = h
+	}
+	h.observe(v)
+	m.mu.Unlock()
+}
+
+// RequestCount reads the counter for one endpoint/status pair.
+func (m *Metrics) RequestCount(endpoint string, status int) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.requests[requestKey{endpoint, status}]
+}
+
+// Render writes the registry in Prometheus text format, deterministically
+// ordered so the output is diff- and test-friendly.
+func (m *Metrics) Render(w io.Writer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	names := make([]string, 0, len(m.counters))
+	for name := range m.counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "%s %d\n", name, m.counters[name])
+	}
+
+	gnames := make([]string, 0, len(m.gauges))
+	for name := range m.gauges {
+		gnames = append(gnames, name)
+	}
+	sort.Strings(gnames)
+	for _, name := range gnames {
+		fmt.Fprintf(w, "%s %d\n", name, m.gauges[name]())
+	}
+
+	keys := make([]requestKey, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].endpoint != keys[j].endpoint {
+			return keys[i].endpoint < keys[j].endpoint
+		}
+		return keys[i].status < keys[j].status
+	})
+	for _, k := range keys {
+		fmt.Fprintf(w, "sarad_requests_total{endpoint=%q,status=\"%d\"} %d\n", k.endpoint, k.status, m.requests[k])
+	}
+
+	hnames := make([]string, 0, len(m.hists))
+	for name := range m.hists {
+		hnames = append(hnames, name)
+	}
+	sort.Strings(hnames)
+	for _, name := range hnames {
+		h := m.hists[name]
+		cum := int64(0)
+		for i, bound := range latencyBuckets {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, bound, cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.n)
+		fmt.Fprintf(w, "%s_sum %g\n", name, h.sum)
+		fmt.Fprintf(w, "%s_count %d\n", name, h.n)
+	}
+}

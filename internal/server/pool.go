@@ -1,0 +1,97 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrSaturated is returned by Pool.Submit when every worker is busy and the
+// queue is full; HTTP handlers translate it into 429 + Retry-After.
+var ErrSaturated = errors.New("server: worker pool saturated")
+
+// ErrClosed is returned by Pool.Submit after Shutdown has begun.
+var ErrClosed = errors.New("server: worker pool shutting down")
+
+// Pool is a bounded worker pool: a fixed number of workers draining a
+// fixed-depth queue. Submission never blocks — a full queue is reported as
+// ErrSaturated so the caller can apply backpressure instead of queueing
+// unboundedly. Compilation and simulation are CPU-bound, so the worker count
+// caps concurrent jobs at a level the host can actually parallelize.
+type Pool struct {
+	mu     sync.Mutex
+	queue  chan func()
+	closed bool
+	wg     sync.WaitGroup
+	active int64
+}
+
+// NewPool starts workers goroutines serving a queue of depth queueDepth
+// (workers minimum 1; depth 0 means no waiting room beyond the workers).
+func NewPool(workers, queueDepth int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	p := &Pool{queue: make(chan func(), queueDepth)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for f := range p.queue {
+				atomic.AddInt64(&p.active, 1)
+				f()
+				atomic.AddInt64(&p.active, -1)
+			}
+		}()
+	}
+	return p
+}
+
+// Submit enqueues f for execution. It returns immediately: ErrSaturated when
+// the queue is full, ErrClosed during shutdown, nil once f is queued.
+func (p *Pool) Submit(f func()) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	select {
+	case p.queue <- f:
+		return nil
+	default:
+		return ErrSaturated
+	}
+}
+
+// QueueDepth reports the number of queued (not yet started) jobs.
+func (p *Pool) QueueDepth() int { return len(p.queue) }
+
+// Active reports the number of jobs currently executing.
+func (p *Pool) Active() int64 { return atomic.LoadInt64(&p.active) }
+
+// Shutdown stops intake and waits for queued and running jobs to drain,
+// returning early with ctx's error if the deadline passes first. It is safe
+// to call more than once.
+func (p *Pool) Shutdown(ctx context.Context) error {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.queue)
+	}
+	p.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

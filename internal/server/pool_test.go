@@ -1,0 +1,81 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// waitFor polls cond for up to a second.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	for deadline := time.Now().Add(time.Second); time.Now().Before(deadline); {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestPoolBackpressure(t *testing.T) {
+	p := NewPool(1, 1)
+	gate := make(chan struct{})
+	done := make(chan struct{}, 2)
+
+	// First job occupies the only worker...
+	if err := p.Submit(func() { <-gate; done <- struct{}{} }); err != nil {
+		t.Fatalf("submit 1: %v", err)
+	}
+	waitFor(t, "worker to pick up job", func() bool { return p.Active() == 1 })
+	// ...second fills the queue...
+	if err := p.Submit(func() { done <- struct{}{} }); err != nil {
+		t.Fatalf("submit 2: %v", err)
+	}
+	// ...third must be shed, not queued.
+	if err := p.Submit(func() {}); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("submit 3: err = %v, want ErrSaturated", err)
+	}
+	close(gate)
+	<-done
+	<-done
+}
+
+func TestPoolShutdownDrains(t *testing.T) {
+	p := NewPool(2, 4)
+	ran := make(chan int, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		if err := p.Submit(func() { time.Sleep(5 * time.Millisecond); ran <- i }); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if err := p.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if len(ran) != 3 {
+		t.Fatalf("shutdown drained %d of 3 jobs", len(ran))
+	}
+	if err := p.Submit(func() {}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after shutdown: err = %v, want ErrClosed", err)
+	}
+}
+
+func TestPoolShutdownHonorsDeadline(t *testing.T) {
+	p := NewPool(1, 1)
+	gate := make(chan struct{})
+	if err := p.Submit(func() { <-gate }); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	waitFor(t, "worker to pick up job", func() bool { return p.Active() == 1 })
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := p.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown: err = %v, want deadline exceeded", err)
+	}
+	close(gate)
+	if err := p.Shutdown(context.Background()); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+}

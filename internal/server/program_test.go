@@ -1,0 +1,128 @@
+package server
+
+import (
+	"testing"
+
+	"sara/internal/core"
+	"sara/internal/sim"
+)
+
+// dotProgram is a small dot product in wire form, cheap enough for
+// cycle-level simulation in tests.
+func dotProgram() *ProgramJSON {
+	src := 3
+	return &ProgramJSON{
+		Name: "dot",
+		Mems: []MemJSON{
+			{Kind: "dram", Name: "x", Dims: []int{4096}},
+			{Kind: "dram", Name: "y", Dims: []int{4096}},
+			{Kind: "reg", Name: "acc"},
+		},
+		Body: []NodeJSON{{
+			Kind: "loop", Name: "i", Min: 0, Max: 4096, Step: 1, Par: 16,
+			Body: []NodeJSON{{
+				Kind: "block", Name: "mac",
+				Ops: []OpJSON{
+					{Op: "read", Mem: "x"},
+					{Op: "read", Mem: "y"},
+					{Op: "mul", In: []int{0, 1}},
+					{Op: "accum", In: []int{2}},
+					{Op: "write", Mem: "acc", Pattern: &PatternJSON{Kind: "const"}, Src: &src},
+				},
+			}},
+		}},
+	}
+}
+
+func TestDecodeProgramCompilesAndSimulates(t *testing.T) {
+	prog, err := DecodeProgram(dotProgram())
+	if err != nil {
+		t.Fatalf("DecodeProgram: %v", err)
+	}
+	c, err := core.Compile(prog, core.DefaultConfig())
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	r, err := sim.Cycle(c.Design(), 0)
+	if err != nil {
+		t.Fatalf("Cycle: %v", err)
+	}
+	if r.Cycles <= 0 {
+		t.Fatalf("cycles = %d, want > 0", r.Cycles)
+	}
+}
+
+func TestDecodeProgramAffinePattern(t *testing.T) {
+	pj := &ProgramJSON{
+		Name: "tile",
+		Mems: []MemJSON{
+			{Kind: "dram", Name: "x", Dims: []int{1 << 16}},
+			{Kind: "sram", Name: "t", Dims: []int{512}},
+		},
+		Body: []NodeJSON{{
+			Kind: "loop", Name: "a", Max: 4,
+			Body: []NodeJSON{
+				{
+					Kind: "loop", Name: "i", Max: 512, Par: 16,
+					Body: []NodeJSON{{
+						Kind: "block", Name: "w",
+						Ops: []OpJSON{
+							{Op: "read", Mem: "x"},
+							{Op: "write", Mem: "t", Pattern: &PatternJSON{Kind: "affine", Terms: []TermJSON{{Loop: "i", Coeff: 1}}}, Src: intp(0)},
+						},
+					}},
+				},
+				{
+					Kind: "loop", Name: "j", Max: 512, Par: 16,
+					Body: []NodeJSON{{
+						Kind: "block", Name: "r",
+						Ops: []OpJSON{
+							{Op: "read", Mem: "t", Pattern: &PatternJSON{Kind: "affine", Terms: []TermJSON{{Loop: "j", Coeff: 1}}}},
+							{Op: "chain", Of: "fma", N: 8},
+							{Op: "accum", In: []int{0}},
+						},
+					}},
+				},
+			},
+		}},
+	}
+	prog, err := DecodeProgram(pj)
+	if err != nil {
+		t.Fatalf("DecodeProgram: %v", err)
+	}
+	if _, err := core.Compile(prog, core.DefaultConfig()); err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+}
+
+func intp(v int) *int { return &v }
+
+func TestDecodeProgramErrors(t *testing.T) {
+	base := func() *ProgramJSON { return dotProgram() }
+	cases := []struct {
+		name   string
+		mutate func(*ProgramJSON)
+	}{
+		{"unknown memory", func(p *ProgramJSON) { p.Body[0].Body[0].Ops[0].Mem = "nope" }},
+		{"unknown op", func(p *ProgramJSON) { p.Body[0].Body[0].Ops[2].Op = "frobnicate" }},
+		{"forward op reference", func(p *ProgramJSON) { p.Body[0].Body[0].Ops[2].In = []int{9} }},
+		{"unknown pattern kind", func(p *ProgramJSON) { p.Body[0].Body[0].Ops[0].Pattern = &PatternJSON{Kind: "spiral"} }},
+		{"unknown node kind", func(p *ProgramJSON) { p.Body[0].Kind = "goto" }},
+		{"duplicate loop name", func(p *ProgramJSON) { p.Body[0].Body[0] = p.Body[0]; p.Body[0].Body[0].Body = nil }},
+		{"empty body", func(p *ProgramJSON) { p.Body = nil }},
+		{"unknown mem kind", func(p *ProgramJSON) { p.Mems[0].Kind = "tape" }},
+		{"duplicate mem", func(p *ProgramJSON) { p.Mems[1].Name = "x" }},
+		{"affine term names non-enclosing loop", func(p *ProgramJSON) {
+			p.Body[0].Body[0].Ops[0].Pattern = &PatternJSON{Kind: "affine", Terms: []TermJSON{{Loop: "zz", Coeff: 1}}}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := base()
+			tc.mutate(p)
+			if _, err := DecodeProgram(p); err == nil {
+				t.Fatalf("want error, got none")
+			}
+		})
+	}
+}

@@ -1,0 +1,530 @@
+// Package server turns the SARA batch flow into a serving subsystem: a JSON
+// HTTP API (stdlib net/http only) that accepts a spatial program — inline or
+// by registered workload name — plus a chip spec and compiler options, runs
+// the full compile pipeline, and executes either the cycle-level or the
+// analytic engine.
+//
+// The design leans on the flow being a deterministic pure function of
+// (program, arch, options), §V of the paper: requests are canonicalized and
+// SHA-256 content-addressed, so identical work compiles once (single-flight)
+// and is reused from an LRU cache. A bounded worker pool caps concurrent
+// compilation/simulation at what the host can parallelize and sheds load
+// with 429 + Retry-After once its queue fills. /metrics exposes counters and
+// latency histograms in the Prometheus text format.
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"sara/internal/arch"
+	"sara/internal/core"
+	"sara/internal/merge"
+	"sara/internal/opt"
+	"sara/internal/partition"
+	"sara/internal/sim"
+	"sara/internal/workloads"
+	"sara/spatial"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers caps concurrently executing compile/simulate jobs
+	// (default 4).
+	Workers int
+	// QueueDepth is the waiting room beyond the workers; a full queue sheds
+	// load with 429 (default 16).
+	QueueDepth int
+	// CacheEntries bounds the compile cache (default 64 compiled designs).
+	CacheEntries int
+	// DefaultTimeout bounds a request that does not set timeout_ms; it is
+	// also the maximum any request may ask for (default 120s).
+	DefaultTimeout time.Duration
+	// MaxBodyBytes bounds request bodies (default 8 MiB).
+	MaxBodyBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.QueueDepth < 0 {
+		o.QueueDepth = 0
+	} else if o.QueueDepth == 0 {
+		o.QueueDepth = 16
+	}
+	if o.CacheEntries <= 0 {
+		o.CacheEntries = 64
+	}
+	if o.DefaultTimeout <= 0 {
+		o.DefaultTimeout = 120 * time.Second
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 8 << 20
+	}
+	return o
+}
+
+// Server is the compile-and-simulate service.
+type Server struct {
+	opts    Options
+	cache   *Cache
+	pool    *Pool
+	metrics *Metrics
+	mux     *http.ServeMux
+
+	// jobGate, when set, runs at the start of every pooled job; tests use it
+	// to hold workers busy deterministically.
+	jobGate func()
+}
+
+// New returns a ready-to-serve Server.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:    opts,
+		cache:   NewCache(opts.CacheEntries),
+		pool:    NewPool(opts.Workers, opts.QueueDepth),
+		metrics: NewMetrics(),
+		mux:     http.NewServeMux(),
+	}
+	s.metrics.Gauge("sarad_queue_depth", func() int64 { return int64(s.pool.QueueDepth()) })
+	s.metrics.Gauge("sarad_workers_busy", func() int64 { return s.pool.Active() })
+	s.metrics.Gauge("sarad_cache_entries", func() int64 { return int64(s.cache.Stats().Entries) })
+	s.mux.HandleFunc("/v1/run", s.instrument("/v1/run", s.handleRun))
+	s.mux.HandleFunc("/v1/compile", s.instrument("/v1/compile", s.handleCompile))
+	s.mux.HandleFunc("/v1/workloads", s.instrument("/v1/workloads", s.handleWorkloads))
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.metrics.Render(w)
+	})
+	return s
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the registry (for embedding and tests).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Close drains in-flight and queued jobs, waiting up to ctx's deadline. Call
+// after http.Server.Shutdown so no new work arrives while draining.
+func (s *Server) Close(ctx context.Context) error { return s.pool.Shutdown(ctx) }
+
+// RunRequest is the body of /v1/run and /v1/compile. Exactly one of Workload
+// or Program selects what to compile.
+type RunRequest struct {
+	// Workload names a registered benchmark (see /v1/workloads)...
+	Workload string `json:"workload,omitempty"`
+	// Par and Scale parameterize a workload (defaults 16 and 16).
+	Par   int `json:"par,omitempty"`
+	Scale int `json:"scale,omitempty"`
+	// ...or Program carries an inline spatial program.
+	Program *ProgramJSON `json:"program,omitempty"`
+
+	// Arch selects and overrides the chip preset (default: the 20×20 HBM2).
+	Arch *arch.SpecJSON `json:"arch,omitempty"`
+	// Options toggles compiler passes.
+	Options *CompileOptionsJSON `json:"options,omitempty"`
+	// Engine is "cycle" (default) or "analytic"; ignored by /v1/compile.
+	Engine string `json:"engine,omitempty"`
+	// TimeoutMS bounds this request, capped at the server default.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// CompileOptionsJSON is the wire form of the compiler configuration.
+type CompileOptionsJSON struct {
+	// NoOpt disables the §III-C optimization suite.
+	NoOpt bool `json:"no_opt,omitempty"`
+	// Solver uses MIP partitioning/merging with SolverGap (default 0.15).
+	Solver    bool    `json:"solver,omitempty"`
+	SolverGap float64 `json:"solver_gap,omitempty"`
+	// SkipPlace skips placement; streams are charged the arch's default hop
+	// distance.
+	SkipPlace bool `json:"skip_place,omitempty"`
+	// NoBanking, NoMerging, NoCreditRelaxation disable the respective passes
+	// (the paper's ablations, §IV-C).
+	NoBanking          bool `json:"no_banking,omitempty"`
+	NoMerging          bool `json:"no_merging,omitempty"`
+	NoCreditRelaxation bool `json:"no_credit_relaxation,omitempty"`
+}
+
+func (o *CompileOptionsJSON) config(spec *arch.Spec) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Spec = spec
+	if o == nil {
+		return cfg
+	}
+	if o.NoOpt {
+		cfg.Opt = opt.None()
+	}
+	if o.Solver {
+		gap := o.SolverGap
+		if gap <= 0 {
+			gap = 0.15
+		}
+		cfg.Partition.Algo = partition.AlgoSolver
+		cfg.Partition.Gap = gap
+		cfg.Merge.Algo = partition.AlgoSolver
+		cfg.Merge.Gap = gap
+	}
+	if o.SkipPlace {
+		cfg.SkipPlace = true
+	}
+	if o.NoBanking {
+		cfg.Membank.DisableBanking = true
+	}
+	if o.NoMerging {
+		cfg.Merge = merge.Options{DisableMerging: true}
+	}
+	if o.NoCreditRelaxation {
+		cfg.Consistency.DisableCreditRelaxation = true
+	}
+	return cfg
+}
+
+// ResourcesJSON is the wire form of a compiled design's footprint.
+type ResourcesJSON struct {
+	PCU          int `json:"pcu"`
+	PMU          int `json:"pmu"`
+	AG           int `json:"ag"`
+	Total        int `json:"total"`
+	VUs          int `json:"vus"`
+	TokenStreams int `json:"token_streams"`
+}
+
+func resourcesJSON(r core.Resources) ResourcesJSON {
+	return ResourcesJSON{PCU: r.PCU, PMU: r.PMU, AG: r.AG, Total: r.Total, VUs: r.VUs, TokenStreams: r.TokenStreams}
+}
+
+// RunResponse is the body answering /v1/run and /v1/compile.
+type RunResponse struct {
+	Program  string `json:"program"`
+	Arch     string `json:"arch"`
+	CacheKey string `json:"cache_key"`
+	CacheHit bool   `json:"cache_hit"`
+	// CompileMS is the wall time of the compile phase of this request; a
+	// cache hit reports ~0 (the cost was paid by an earlier request).
+	CompileMS float64            `json:"compile_ms"`
+	SimMS     float64            `json:"sim_ms,omitempty"`
+	PhaseMS   map[string]float64 `json:"phase_ms,omitempty"`
+	Resources ResourcesJSON      `json:"resources"`
+	Result    *sim.ResultJSON    `json:"result,omitempty"`
+}
+
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+// canonicalRequest is the normalized compile identity that gets hashed: it
+// excludes everything that does not affect compilation (engine, timeout),
+// and fills defaults so equivalent requests hash equally. All fields are
+// structs, slices, and scalars — no maps — so encoding/json is canonical.
+type canonicalRequest struct {
+	Workload string             `json:"workload,omitempty"`
+	Par      int                `json:"par,omitempty"`
+	Scale    int                `json:"scale,omitempty"`
+	Program  *ProgramJSON       `json:"program,omitempty"`
+	Arch     arch.SpecJSON      `json:"arch"`
+	Options  CompileOptionsJSON `json:"options"`
+}
+
+// cacheKey hashes the canonical compile identity of req.
+func cacheKey(req *RunRequest) (string, error) {
+	cr := canonicalRequest{
+		Workload: req.Workload,
+		Program:  req.Program,
+	}
+	if req.Workload != "" {
+		cr.Par, cr.Scale = req.Par, req.Scale
+	}
+	if req.Arch != nil {
+		cr.Arch = *req.Arch
+	}
+	if req.Options != nil {
+		cr.Options = *req.Options
+	}
+	b, err := json.Marshal(&cr)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// normalize validates the request and fills defaults.
+func (s *Server) normalize(req *RunRequest) error {
+	switch {
+	case req.Workload == "" && req.Program == nil:
+		return errors.New("request needs a workload name or an inline program")
+	case req.Workload != "" && req.Program != nil:
+		return errors.New("request must set exactly one of workload and program")
+	}
+	if req.Workload != "" {
+		if _, err := workloads.ByName(req.Workload); err != nil {
+			return err
+		}
+		if req.Par <= 0 {
+			req.Par = 16
+		}
+		if req.Scale <= 0 {
+			req.Scale = 16
+		}
+	}
+	switch req.Engine {
+	case "", "cycle", "analytic":
+	default:
+		return fmt.Errorf("unknown engine %q (want cycle or analytic)", req.Engine)
+	}
+	return nil
+}
+
+// buildProgram materializes the request's program (cheap relative to
+// compilation; runs inside the pooled job).
+func buildProgram(req *RunRequest) (*spatial.Program, error) {
+	if req.Program != nil {
+		return DecodeProgram(req.Program)
+	}
+	w, err := workloads.ByName(req.Workload)
+	if err != nil {
+		return nil, err
+	}
+	return w.Build(workloads.Params{Par: req.Par, Scale: req.Scale}), nil
+}
+
+// instrument wraps a handler with request counting and latency observation.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		s.metrics.ObserveRequest(endpoint, sw.status, time.Since(t0).Seconds())
+	}
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client went away; nothing to do
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorJSON{Error: err.Error()})
+}
+
+func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*RunRequest, bool) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return nil, false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	req := &RunRequest{}
+	if err := dec.Decode(req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return nil, false
+	}
+	if err := s.normalize(req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return nil, false
+	}
+	return req, true
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	s.serve(w, r, true)
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	s.serve(w, r, false)
+}
+
+// serve is the shared run/compile path: decode, hash, schedule on the pool,
+// and wait for the job or the request deadline.
+func (s *Server) serve(w http.ResponseWriter, r *http.Request, simulate bool) {
+	req, ok := s.decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	spec, err := specFor(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	key, err := cacheKey(req)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+
+	timeout := s.opts.DefaultTimeout
+	if req.TimeoutMS > 0 && time.Duration(req.TimeoutMS)*time.Millisecond < timeout {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	type outcome struct {
+		resp   *RunResponse
+		status int
+		err    error
+	}
+	done := make(chan outcome, 1)
+	job := func() {
+		if s.jobGate != nil {
+			s.jobGate()
+		}
+		resp, status, err := s.execute(ctx, req, spec, key, simulate)
+		done <- outcome{resp, status, err}
+	}
+	if err := s.pool.Submit(job); err != nil {
+		if errors.Is(err, ErrSaturated) {
+			s.metrics.Add("sarad_rejected_total", 1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, err)
+			return
+		}
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	select {
+	case o := <-done:
+		if o.err != nil {
+			writeError(w, o.status, o.err)
+			return
+		}
+		writeJSON(w, o.status, o.resp)
+	case <-ctx.Done():
+		// The job keeps running (compilation is not preemptible) and will
+		// still populate the cache; only this response gives up.
+		s.metrics.Add("sarad_timeouts_total", 1)
+		writeError(w, http.StatusGatewayTimeout, ctx.Err())
+	}
+}
+
+func specFor(req *RunRequest) (*arch.Spec, error) {
+	aj := req.Arch
+	if aj == nil {
+		aj = &arch.SpecJSON{}
+	}
+	return aj.Spec()
+}
+
+// execute runs inside a pool worker: compile via the content-addressed
+// cache, then simulate.
+func (s *Server) execute(ctx context.Context, req *RunRequest, spec *arch.Spec, key string, simulate bool) (*RunResponse, int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, http.StatusGatewayTimeout, err
+	}
+	t0 := time.Now()
+	compiled, hit, err := s.cache.GetOrCompile(key, func() (*core.Compiled, error) {
+		s.metrics.Add("sarad_compiles_total", 1)
+		prog, err := buildProgram(req)
+		if err != nil {
+			return nil, err
+		}
+		c, err := core.Compile(prog, req.Options.config(spec))
+		if err != nil {
+			return nil, err
+		}
+		s.metrics.Observe("sarad_compile_seconds", c.CompileTime().Seconds())
+		return c, nil
+	})
+	if err != nil {
+		return nil, http.StatusUnprocessableEntity, err
+	}
+	compileWall := time.Since(t0)
+	if hit {
+		s.metrics.Add("sarad_cache_hits_total", 1)
+	} else {
+		s.metrics.Add("sarad_cache_misses_total", 1)
+	}
+
+	resp := &RunResponse{
+		Program:   compiled.Prog.Name,
+		Arch:      spec.Name,
+		CacheKey:  key,
+		CacheHit:  hit,
+		CompileMS: float64(compileWall.Microseconds()) / 1e3,
+		Resources: resourcesJSON(compiled.Resources()),
+	}
+	if !simulate {
+		resp.PhaseMS = map[string]float64{}
+		for phase, d := range compiled.PhaseTimes {
+			resp.PhaseMS[phase] = float64(d.Microseconds()) / 1e3
+		}
+		return resp, http.StatusOK, nil
+	}
+
+	if err := ctx.Err(); err != nil {
+		return nil, http.StatusGatewayTimeout, err
+	}
+	t1 := time.Now()
+	var result *sim.Result
+	switch req.Engine {
+	case "", "cycle":
+		result, err = sim.Cycle(compiled.Design(), 0)
+	case "analytic":
+		result, err = sim.Analytic(compiled.Design())
+	}
+	if err != nil {
+		return nil, http.StatusUnprocessableEntity, err
+	}
+	simWall := time.Since(t1)
+	s.metrics.Observe("sarad_sim_seconds", simWall.Seconds())
+	s.metrics.Add("sarad_cycles_simulated_total", result.Cycles)
+	resp.SimMS = float64(simWall.Microseconds()) / 1e3
+	resp.Result = result.JSON(spec)
+	return resp, http.StatusOK, nil
+}
+
+// workloadInfo is one entry of the /v1/workloads listing.
+type workloadInfo struct {
+	Name        string `json:"name"`
+	Domain      string `json:"domain"`
+	Control     string `json:"control"`
+	MemoryBound bool   `json:"memory_bound"`
+	DefaultPar  int    `json:"default_par"`
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	var out []workloadInfo
+	for _, wl := range workloads.All() {
+		out = append(out, workloadInfo{
+			Name:        wl.Name,
+			Domain:      wl.Domain,
+			Control:     wl.Control,
+			MemoryBound: wl.MemoryBound,
+			DefaultPar:  wl.DefaultPar,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}

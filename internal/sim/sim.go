@@ -36,15 +36,24 @@ type Design struct {
 	Placement *place.Placement
 }
 
-// defaultHops is the stream distance assumed when no placement is available.
-const defaultHops = 4
+// fallbackHops is the stream distance assumed when a design has no placement
+// and its Spec does not set DefaultStreamHops (e.g. hand-built Specs in
+// tests). The arch presets configure the distance explicitly.
+const fallbackHops = 4
 
-// hops returns the network distance of an edge in switch hops.
+// hops returns the network distance of an edge in switch hops. The fallback
+// applies only when the design carries no placement — compilation ran with
+// SkipPlace, or the Design was assembled without merge/placement results —
+// in which case every stream is charged the flat Spec.DefaultStreamHops
+// distance instead of a routed one.
 func (d *Design) hops(e *dfg.Edge) int {
 	if d.Placement != nil && d.Merge != nil {
 		return d.Placement.EdgeHops(d.Merge, e.Src, e.Dst)
 	}
-	return defaultHops
+	if d.Spec != nil && d.Spec.DefaultStreamHops > 0 {
+		return d.Spec.DefaultStreamHops
+	}
+	return fallbackHops
 }
 
 // edgeLatency returns the cycle latency a stream element spends in flight.
