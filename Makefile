@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench serve
+.PHONY: ci fmt vet build test race bench benchsmoke serve
 
-ci: fmt vet build race
+ci: fmt vet build race benchsmoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -25,7 +25,13 @@ race:
 	$(GO) test -race ./...
 
 bench:
+	$(GO) run ./cmd/sarabench -o BENCH_sim.json
 	$(GO) test -bench=. -benchmem
+
+# One iteration of the engine comparison: catches bit-rot in the benchmark
+# harness without paying for a full timing run.
+benchsmoke:
+	$(GO) test -run '^$$' -bench BenchmarkCycleEngine -benchtime 1x .
 
 # Run the compile-and-simulate daemon locally.
 serve:

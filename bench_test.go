@@ -166,29 +166,55 @@ func BenchmarkCompile(b *testing.B) {
 	}
 }
 
-// BenchmarkCycleEngine measures the cycle-level simulator's throughput in
-// simulated firings per wall-clock second.
+// cycleEngineCases are the BenchmarkCycleEngine workloads. rf is the
+// token-stall-heavy case — credit loops against saturated DRAM leave most of
+// its units parked on token waits (~1.1 firings/cycle across 80 units), the
+// regime the event engine targets. sort is moderately sparse, and bs at this
+// size is a small, busy graph where the dense scan is near-free — an honest
+// worst case for the event engine's bookkeeping.
+var cycleEngineCases = []struct {
+	workload   string
+	par, scale int
+}{
+	{"rf", 64, 256},
+	{"sort", 128, 256},
+	{"bs", 16, 32},
+}
+
+// BenchmarkCycleEngine measures both cycle-level engines on the same compiled
+// designs, reporting simulated-cycles per wall-clock second. The dense/event
+// ratio is the tentpole speedup tracked in BENCH_sim.json across PRs.
 func BenchmarkCycleEngine(b *testing.B) {
-	w, err := workloads.ByName("bs")
-	if err != nil {
-		b.Fatal(err)
-	}
-	cfg := core.DefaultConfig()
-	cfg.SkipPlace = true
-	c, err := core.Compile(w.Build(workloads.Params{Par: 16, Scale: 32}), cfg)
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	var fired int64
-	for i := 0; i < b.N; i++ {
-		r, err := sim.Cycle(c.Design(), 0)
+	for _, tc := range cycleEngineCases {
+		w, err := workloads.ByName(tc.workload)
 		if err != nil {
 			b.Fatal(err)
 		}
-		fired = r.FiredTotal
+		cfg := core.DefaultConfig()
+		cfg.SkipPlace = true
+		c, err := core.Compile(w.Build(workloads.Params{Par: tc.par, Scale: tc.scale}), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, eng := range []struct {
+			name string
+			kind sim.EngineKind
+		}{{"event", sim.EngineEvent}, {"dense", sim.EngineDense}} {
+			b.Run(tc.workload+"/"+eng.name, func(b *testing.B) {
+				var cycles, fired int64
+				for i := 0; i < b.N; i++ {
+					r, err := sim.CycleEngine(c.Design(), 0, eng.kind)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cycles, fired = r.Cycles, r.FiredTotal
+				}
+				perOp := b.Elapsed().Seconds() / float64(b.N)
+				b.ReportMetric(float64(cycles)/perOp, "simcycles/s")
+				b.ReportMetric(float64(fired), "firings/run")
+			})
+		}
 	}
-	b.ReportMetric(float64(fired), "firings/run")
 }
 
 // BenchmarkAnalyticEngine measures the steady-state model (it is what the

@@ -1,0 +1,150 @@
+// Command sarabench times the two cycle-level engines on the same compiled
+// designs and writes the comparison to BENCH_sim.json — the committed record
+// of the event engine's speedup over the dense reference. The workload set
+// mirrors BenchmarkCycleEngine in bench_test.go: rf is the token-stall-heavy
+// case the event engine targets, sort is moderately sparse, and bs is a
+// small busy graph where the dense scan is near-free.
+//
+// Usage:
+//
+//	sarabench [-reps 10] [-o BENCH_sim.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sara/internal/arch"
+	"sara/internal/core"
+	"sara/internal/sim"
+	"sara/internal/workloads"
+)
+
+// benchCase is one compiled design both engines run.
+type benchCase struct {
+	workload   string
+	par, scale int
+}
+
+var benchCases = []benchCase{
+	{"rf", 64, 256},
+	{"sort", 128, 256},
+	{"bs", 16, 32},
+}
+
+// EngineStat is one engine's timing on one workload.
+type EngineStat struct {
+	NsPerOp     int64   `json:"ns_per_op"`
+	SimCyclesPS float64 `json:"sim_cycles_per_sec"`
+}
+
+// Row is one workload's comparison.
+type Row struct {
+	Workload string     `json:"workload"`
+	Par      int        `json:"par"`
+	Scale    int        `json:"scale"`
+	Units    int        `json:"units"`
+	Edges    int        `json:"edges"`
+	Cycles   int64      `json:"cycles"`
+	Fired    int64      `json:"fired_total"`
+	TokenWt  int64      `json:"token_wait_stalls"`
+	Event    EngineStat `json:"event"`
+	Dense    EngineStat `json:"dense"`
+	// Speedup is dense wall-clock over event wall-clock (>1 means the
+	// event engine is faster).
+	Speedup float64 `json:"event_speedup_over_dense"`
+}
+
+// Report is the BENCH_sim.json document.
+type Report struct {
+	Reps int   `json:"reps"`
+	Rows []Row `json:"rows"`
+}
+
+func timeEngine(d *sim.Design, kind sim.EngineKind, reps int) (EngineStat, *sim.Result, error) {
+	var best time.Duration
+	var last *sim.Result
+	for i := 0; i < reps; i++ {
+		t0 := time.Now()
+		r, err := sim.CycleEngine(d, 0, kind)
+		el := time.Since(t0)
+		if err != nil {
+			return EngineStat{}, nil, err
+		}
+		if best == 0 || el < best {
+			best = el
+		}
+		last = r
+	}
+	return EngineStat{
+		NsPerOp:     best.Nanoseconds(),
+		SimCyclesPS: float64(last.Cycles) / best.Seconds(),
+	}, last, nil
+}
+
+func main() {
+	var (
+		reps = flag.Int("reps", 10, "repetitions per engine (best-of timing)")
+		out  = flag.String("o", "BENCH_sim.json", "output path")
+	)
+	flag.Parse()
+
+	rep := Report{Reps: *reps}
+	for _, bc := range benchCases {
+		w, err := workloads.ByName(bc.workload)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cfg := core.DefaultConfig()
+		cfg.Spec = arch.SARA20x20()
+		cfg.SkipPlace = true
+		c, err := core.Compile(w.Build(workloads.Params{Par: bc.par, Scale: bc.scale}), cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "compile %s: %v\n", bc.workload, err)
+			os.Exit(1)
+		}
+		d := c.Design()
+		ev, er, err := timeEngine(d, sim.EngineEvent, *reps)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "event %s: %v\n", bc.workload, err)
+			os.Exit(1)
+		}
+		de, dr, err := timeEngine(d, sim.EngineDense, *reps)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dense %s: %v\n", bc.workload, err)
+			os.Exit(1)
+		}
+		if er.Cycles != dr.Cycles || er.FiredTotal != dr.FiredTotal {
+			fmt.Fprintf(os.Stderr, "%s: engines disagree (cycles %d vs %d, fired %d vs %d)\n",
+				bc.workload, er.Cycles, dr.Cycles, er.FiredTotal, dr.FiredTotal)
+			os.Exit(1)
+		}
+		row := Row{
+			Workload: bc.workload, Par: bc.par, Scale: bc.scale,
+			Units: len(d.G.VUs), Edges: len(d.G.Edges),
+			Cycles: er.Cycles, Fired: er.FiredTotal,
+			TokenWt: er.Stalls["token-wait"],
+			Event:   ev, Dense: de,
+			Speedup: float64(de.NsPerOp) / float64(ev.NsPerOp),
+		}
+		rep.Rows = append(rep.Rows, row)
+		fmt.Printf("%-6s par=%-4d scale=%-4d event %8.3fms  dense %8.3fms  speedup %.2fx\n",
+			bc.workload, bc.par, bc.scale,
+			float64(ev.NsPerOp)/1e6, float64(de.NsPerOp)/1e6, row.Speedup)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

@@ -26,7 +26,7 @@ func main() {
 		par    = flag.Int("par", 16, "total parallelization factor")
 		scale  = flag.Int("scale", 16, "problem-size divisor (cycle engine wants >= 16)")
 		chip   = flag.String("chip", "20x20", "target chip: 20x20 (HBM2) or v1 (DDR3)")
-		engine = flag.String("engine", "cycle", "execution engine: cycle or analytic")
+		engine = flag.String("engine", "cycle", "execution engine: cycle (event-driven), dense (reference), or analytic")
 		top    = flag.Bool("top", false, "show the busiest units")
 		asJSON = flag.Bool("json", false, "emit the result as JSON (the sarad wire encoding)")
 	)
@@ -52,6 +52,8 @@ func main() {
 	switch *engine {
 	case "cycle":
 		r, err = sim.Cycle(c.Design(), 0)
+	case "dense":
+		r, err = sim.CycleEngine(c.Design(), 0, sim.EngineDense)
 	case "analytic":
 		r, err = sim.Analytic(c.Design())
 	default:

@@ -106,6 +106,26 @@ func (m *Model) StreamRate(elemBytes, nSharers int) float64 {
 // Channels returns the channel count.
 func (m *Model) Channels() int { return len(m.ch) }
 
+// NextReady returns the first cycle at which the channel can begin serving a
+// new request without queueing. Event-driven callers use it to know when the
+// channel's state next changes; deadlock diagnostics use it to distinguish a
+// stuck unit from one merely waiting out a DRAM queue.
+func (m *Model) NextReady(ch int) int64 {
+	if ch < 0 || ch >= len(m.ch) {
+		panic(fmt.Sprintf("dram: channel %d out of range", ch))
+	}
+	return int64(m.ch[ch].busyUntil + 0.9999)
+}
+
+// ChannelBytes returns the bytes transferred so far on one channel, exposing
+// per-channel load imbalance that the aggregate Stats hide.
+func (m *Model) ChannelBytes(ch int) int64 {
+	if ch < 0 || ch >= len(m.ch) {
+		panic(fmt.Sprintf("dram: channel %d out of range", ch))
+	}
+	return m.ch[ch].bytes
+}
+
 // Stats reports aggregate counters.
 type Stats struct {
 	TotalBytes  int64

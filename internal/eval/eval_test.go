@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -223,3 +224,60 @@ func TestCSVExportRoundTrip(t *testing.T) {
 		t.Errorf("table5.csv missing: %v", err)
 	}
 }
+
+// TestFig9aDeterministic pins the parallel sweep's ordering contract: the
+// worker pool must not let goroutine scheduling leak into results.
+func TestFig9aDeterministic(t *testing.T) {
+	names := []string{"mlp", "bs"}
+	pars := []int{1, 4, 16}
+	_, text1, err := Fig9a(names, pars, arch.SARA20x20())
+	if err != nil {
+		t.Fatalf("Fig9a: %v", err)
+	}
+	_, text2, err := Fig9a(names, pars, arch.SARA20x20())
+	if err != nil {
+		t.Fatalf("Fig9a: %v", err)
+	}
+	if text1 != text2 {
+		t.Errorf("Fig9a output varies across runs:\n%s\n--- vs ---\n%s", text1, text2)
+	}
+}
+
+// TestFig9bDeterministic does the same for the tradeoff-space sweep.
+func TestFig9bDeterministic(t *testing.T) {
+	pts1, _, err := Fig9b([]string{"bs"}, []int{16, 64}, arch.SARA20x20())
+	if err != nil {
+		t.Fatalf("Fig9b: %v", err)
+	}
+	pts2, _, err := Fig9b([]string{"bs"}, []int{16, 64}, arch.SARA20x20())
+	if err != nil {
+		t.Fatalf("Fig9b: %v", err)
+	}
+	if len(pts1) != len(pts2) {
+		t.Fatalf("point counts differ: %d vs %d", len(pts1), len(pts2))
+	}
+	for i := range pts1 {
+		if pts1[i] != pts2[i] {
+			t.Errorf("point %d differs: %+v vs %+v", i, pts1[i], pts2[i])
+		}
+	}
+}
+
+// TestForEachIndexedLowestError pins the pool's error contract: the failure
+// with the lowest index wins, matching what a sequential loop would report.
+func TestForEachIndexedLowestError(t *testing.T) {
+	err := forEachIndexed(64, func(i int) error {
+		if i%7 == 3 {
+			return errAt(i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "fail at 3" {
+		t.Errorf("err = %v, want fail at 3", err)
+	}
+	if err := forEachIndexed(16, func(int) error { return nil }); err != nil {
+		t.Errorf("err = %v, want nil", err)
+	}
+}
+
+func errAt(i int) error { return fmt.Errorf("fail at %d", i) }

@@ -35,38 +35,50 @@ func Fig9a(names []string, pars []int, spec *arch.Spec) (map[string][]ScalePoint
 	if len(pars) == 0 {
 		pars = []int{1, 2, 4, 8, 16, 32, 64, 128, 192, 240, 256}
 	}
-	out := map[string][]ScalePoint{}
 	cfg := core.DefaultConfig()
 	cfg.Spec = spec
 	cfg.SkipPlace = true
-	for _, name := range names {
+	ws := make([]*workloads.Workload, len(names))
+	for i, name := range names {
 		w, err := workloads.ByName(name)
 		if err != nil {
 			return nil, "", err
 		}
-		var base int64
-		var pts []ScalePoint
-		for _, par := range pars {
-			c, used, fit, err := compileFit(w, par, spec, cfg)
-			if err != nil {
-				return nil, "", err
-			}
-			r, err := analytic(c)
-			if err != nil {
-				return nil, "", fmt.Errorf("%s par %d: %w", name, par, err)
-			}
-			if base == 0 {
-				base = r.Cycles
-			}
-			pts = append(pts, ScalePoint{
-				Par:       par,
-				UsedPar:   used,
-				Cycles:    r.Cycles,
-				Speedup:   float64(base) / float64(r.Cycles),
-				PUs:       c.Resources().Total,
-				DRAMBound: strings.Contains(r.BottleneckVU, "dram") || strings.Contains(r.BottleneckVU, "ag."),
-				Fit:       fit,
-			})
+		ws[i] = w
+	}
+	// Fan the (workload, par) grid across the worker pool; each point is an
+	// independent compile-and-simulate. Results land in index-addressed slots
+	// and are normalized sequentially below, so output is deterministic.
+	grid := make([]ScalePoint, len(names)*len(pars))
+	err := forEachIndexed(len(grid), func(i int) error {
+		w, par := ws[i/len(pars)], pars[i%len(pars)]
+		c, used, fit, err := compileFit(w, par, spec, cfg)
+		if err != nil {
+			return err
+		}
+		r, err := analytic(c)
+		if err != nil {
+			return fmt.Errorf("%s par %d: %w", w.Name, par, err)
+		}
+		grid[i] = ScalePoint{
+			Par:       par,
+			UsedPar:   used,
+			Cycles:    r.Cycles,
+			PUs:       c.Resources().Total,
+			DRAMBound: strings.Contains(r.BottleneckVU, "dram") || strings.Contains(r.BottleneckVU, "ag."),
+			Fit:       fit,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	out := map[string][]ScalePoint{}
+	for wi, name := range names {
+		pts := grid[wi*len(pars) : (wi+1)*len(pars)]
+		base := pts[0].Cycles // speedup is normalized to the first par point
+		for i := range pts {
+			pts[i].Speedup = float64(base) / float64(pts[i].Cycles)
 		}
 		out[name] = pts
 	}
@@ -134,36 +146,47 @@ func Fig9b(names []string, pars []int, spec *arch.Spec) ([]TradeoffPoint, string
 	if len(pars) == 0 {
 		pars = []int{16, 32, 64, 128, 256}
 	}
-	var pts []TradeoffPoint
-	for _, name := range names {
+	ws := make([]*workloads.Workload, len(names))
+	for i, name := range names {
 		w, err := workloads.ByName(name)
 		if err != nil {
 			return nil, "", err
 		}
-		var base int64
-		for _, par := range pars {
-			for _, os := range optSets {
-				cfg := core.DefaultConfig()
-				cfg.Spec = spec
-				cfg.SkipPlace = true
-				cfg.Opt = os.opt
-				c, _, _, err := compileFit(w, par, spec, cfg)
-				if err != nil {
-					return nil, "", err
-				}
-				r, err := analytic(c)
-				if err != nil {
-					return nil, "", err
-				}
-				if base == 0 {
-					base = r.Cycles
-				}
-				pts = append(pts, TradeoffPoint{
-					Workload: name, Par: par, OptSet: os.name,
-					Cycles: r.Cycles, PUs: c.Resources().Total,
-					Perf: float64(base) / float64(r.Cycles),
-				})
-			}
+		ws[i] = w
+	}
+	// Fan the (workload, par, optSet) grid across the worker pool, then
+	// normalize per workload against its first point sequentially.
+	perW := len(pars) * len(optSets)
+	pts := make([]TradeoffPoint, len(names)*perW)
+	err := forEachIndexed(len(pts), func(i int) error {
+		w := ws[i/perW]
+		par := pars[(i%perW)/len(optSets)]
+		os := optSets[i%len(optSets)]
+		cfg := core.DefaultConfig()
+		cfg.Spec = spec
+		cfg.SkipPlace = true
+		cfg.Opt = os.opt
+		c, _, _, err := compileFit(w, par, spec, cfg)
+		if err != nil {
+			return err
+		}
+		r, err := analytic(c)
+		if err != nil {
+			return err
+		}
+		pts[i] = TradeoffPoint{
+			Workload: w.Name, Par: par, OptSet: os.name,
+			Cycles: r.Cycles, PUs: c.Resources().Total,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	for wi := range ws {
+		base := pts[wi*perW].Cycles
+		for i := wi * perW; i < (wi+1)*perW; i++ {
+			pts[i].Perf = float64(base) / float64(pts[i].Cycles)
 		}
 	}
 	markPareto(pts)

@@ -83,12 +83,14 @@ var table5Kernels = []string{"kmeans", "gda", "logreg", "sgd"}
 // Table5 runs the vanilla-compiler comparison.
 func Table5() ([]Table5Row, float64, string, error) {
 	spec := arch.PlasticineV1()
-	var out []Table5Row
-	var speedups []float64
-	for _, name := range table5Kernels {
+	// Each kernel's two compile-and-simulate runs (vanilla PC and SARA) are
+	// independent; fan them across the worker pool into index-addressed rows.
+	out := make([]Table5Row, len(table5Kernels))
+	err := forEachIndexed(len(table5Kernels), func(i int) error {
+		name := table5Kernels[i]
 		w, err := workloads.ByName(name)
 		if err != nil {
-			return nil, 0, "", err
+			return err
 		}
 
 		// Vanilla compiler: outer par clamped, no banking, hierarchical FSM
@@ -97,11 +99,11 @@ func Table5() ([]Table5Row, float64, string, error) {
 		pcProg := w.BuildForPC(workloads.Params{Par: 16, Scale: 1})
 		pcC, err := pc.Compile(pcProg, spec)
 		if err != nil {
-			return nil, 0, "", fmt.Errorf("pc %s: %w", name, err)
+			return fmt.Errorf("pc %s: %w", name, err)
 		}
 		pcR, err := pc.Simulate(pcC, false)
 		if err != nil {
-			return nil, 0, "", err
+			return err
 		}
 
 		// SARA: best factor that fits the V1 chip.
@@ -110,18 +112,25 @@ func Table5() ([]Table5Row, float64, string, error) {
 		cfg.SkipPlace = true
 		saraC, used, _, err := compileFit(w, w.DefaultPar, spec, cfg)
 		if err != nil {
-			return nil, 0, "", err
+			return err
 		}
 		saraR, err := sim.Analytic(saraC.Design())
 		if err != nil {
-			return nil, 0, "", err
+			return err
 		}
 		sp := float64(pcR.Cycles) / float64(saraR.Cycles)
-		speedups = append(speedups, sp)
-		out = append(out, Table5Row{
+		out[i] = Table5Row{
 			Name: name, PCCycles: pcR.Cycles, SARACycles: saraR.Cycles,
 			Speedup: sp, SARAPar: used, MemoryBound: w.MemoryBound,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, 0, "", err
+	}
+	speedups := make([]float64, len(out))
+	for i, r := range out {
+		speedups[i] = r.Speedup
 	}
 	gm := geomean(speedups)
 	var rows [][]string
@@ -164,34 +173,43 @@ var table6Kernels = []string{"snet", "lstm", "pr", "bs", "sort", "rf", "ms"}
 func Table6() ([]Table6Row, float64, string, error) {
 	spec := arch.SARA20x20()
 	v100 := gpu.TeslaV100()
-	var out []Table6Row
-	var speedups []float64
-	for _, name := range table6Kernels {
+	// Kernels are independent compile-and-simulate points; fan them across
+	// the worker pool into index-addressed rows.
+	out := make([]Table6Row, len(table6Kernels))
+	err := forEachIndexed(len(table6Kernels), func(i int) error {
+		name := table6Kernels[i]
 		w, err := workloads.ByName(name)
 		if err != nil {
-			return nil, 0, "", err
+			return err
 		}
 		cfg := core.DefaultConfig()
 		cfg.Spec = spec
 		cfg.SkipPlace = true
 		c, used, _, err := compileFit(w, w.DefaultPar, spec, cfg)
 		if err != nil {
-			return nil, 0, "", err
+			return err
 		}
 		r, err := sim.Analytic(c.Design())
 		if err != nil {
-			return nil, 0, "", err
+			return err
 		}
 		saraSec := r.Seconds(spec)
 		gpuSec := v100.Runtime(w.GPUProfile(workloads.Params{Par: used, Scale: 1}))
 		sp := gpuSec / saraSec
-		speedups = append(speedups, sp)
-		out = append(out, Table6Row{
+		out[i] = Table6Row{
 			Name: name, SARASeconds: saraSec, GPUSeconds: gpuSec,
 			Speedup:  sp,
 			AreaNorm: sp * (v100.AreaMM2 / spec.AreaMM2),
 			SARAPar:  used,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, 0, "", err
+	}
+	speedups := make([]float64, len(out))
+	for i, r := range out {
+		speedups[i] = r.Speedup
 	}
 	gm := geomean(speedups)
 	var rows [][]string

@@ -136,7 +136,8 @@ type RunRequest struct {
 	Arch *arch.SpecJSON `json:"arch,omitempty"`
 	// Options toggles compiler passes.
 	Options *CompileOptionsJSON `json:"options,omitempty"`
-	// Engine is "cycle" (default) or "analytic"; ignored by /v1/compile.
+	// Engine is "cycle" (default, event-driven), "dense" (the reference
+	// cycle-level engine), or "analytic"; ignored by /v1/compile.
 	Engine string `json:"engine,omitempty"`
 	// TimeoutMS bounds this request, capped at the server default.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
@@ -215,11 +216,14 @@ type RunResponse struct {
 	CacheHit bool   `json:"cache_hit"`
 	// CompileMS is the wall time of the compile phase of this request; a
 	// cache hit reports ~0 (the cost was paid by an earlier request).
-	CompileMS float64            `json:"compile_ms"`
-	SimMS     float64            `json:"sim_ms,omitempty"`
-	PhaseMS   map[string]float64 `json:"phase_ms,omitempty"`
-	Resources ResourcesJSON      `json:"resources"`
-	Result    *sim.ResultJSON    `json:"result,omitempty"`
+	CompileMS float64 `json:"compile_ms"`
+	SimMS     float64 `json:"sim_ms,omitempty"`
+	// SimCyclesPerSec is the simulated-cycle throughput of this request's
+	// engine — the service-level view of simulator performance.
+	SimCyclesPerSec float64            `json:"sim_cycles_per_sec,omitempty"`
+	PhaseMS         map[string]float64 `json:"phase_ms,omitempty"`
+	Resources       ResourcesJSON      `json:"resources"`
+	Result          *sim.ResultJSON    `json:"result,omitempty"`
 }
 
 type errorJSON struct {
@@ -282,9 +286,9 @@ func (s *Server) normalize(req *RunRequest) error {
 		}
 	}
 	switch req.Engine {
-	case "", "cycle", "analytic":
+	case "", "cycle", "dense", "analytic":
 	default:
-		return fmt.Errorf("unknown engine %q (want cycle or analytic)", req.Engine)
+		return fmt.Errorf("unknown engine %q (want cycle, dense, or analytic)", req.Engine)
 	}
 	return nil
 }
@@ -484,9 +488,15 @@ func (s *Server) execute(ctx context.Context, req *RunRequest, spec *arch.Spec, 
 	}
 	t1 := time.Now()
 	var result *sim.Result
-	switch req.Engine {
-	case "", "cycle":
-		result, err = sim.Cycle(compiled.Design(), 0)
+	engine := req.Engine
+	if engine == "" {
+		engine = "cycle"
+	}
+	switch engine {
+	case "cycle":
+		result, err = sim.CycleEngine(compiled.Design(), 0, sim.EngineEvent)
+	case "dense":
+		result, err = sim.CycleEngine(compiled.Design(), 0, sim.EngineDense)
 	case "analytic":
 		result, err = sim.Analytic(compiled.Design())
 	}
@@ -496,7 +506,11 @@ func (s *Server) execute(ctx context.Context, req *RunRequest, spec *arch.Spec, 
 	simWall := time.Since(t1)
 	s.metrics.Observe("sarad_sim_seconds", simWall.Seconds())
 	s.metrics.Add("sarad_cycles_simulated_total", result.Cycles)
+	s.metrics.Add("sarad_sim_requests_"+engine+"_total", 1)
 	resp.SimMS = float64(simWall.Microseconds()) / 1e3
+	if sec := simWall.Seconds(); sec > 0 {
+		resp.SimCyclesPerSec = float64(result.Cycles) / sec
+	}
 	resp.Result = result.JSON(spec)
 	return resp, http.StatusOK, nil
 }

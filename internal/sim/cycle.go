@@ -9,9 +9,31 @@ import (
 	"sara/internal/ir"
 )
 
+// EngineKind selects the cycle-level engine implementation. Both engines
+// execute the same unit/edge semantics and report bit-identical Results
+// (Cycles, FiredTotal, per-kind stalls, DRAM counters); they differ only in
+// how they find the next unit to step.
+type EngineKind int
+
+const (
+	// EngineEvent is the event-driven engine: a min-heap of arrival events,
+	// per-edge wake lists, and batch firing make its cost proportional to
+	// activity rather than to cycles x (edges + units). It is the default.
+	EngineEvent EngineKind = iota
+	// EngineDense is the original dense engine: every cycle scans all edges
+	// for deliveries and steps all units. Linear in cycles; kept as the
+	// reference oracle the event engine is validated against.
+	EngineDense
+)
+
 // Cycle runs the cycle-level engine. maxCycles guards against runaways
 // (0 = 200M cycles).
 func Cycle(d *Design, maxCycles int64) (*Result, error) {
+	return CycleEngine(d, maxCycles, EngineEvent)
+}
+
+// CycleEngine runs the cycle-level simulation on the selected engine.
+func CycleEngine(d *Design, maxCycles int64, kind EngineKind) (*Result, error) {
 	cs, err := newCycleSim(d)
 	if err != nil {
 		return nil, err
@@ -19,7 +41,10 @@ func Cycle(d *Design, maxCycles int64) (*Result, error) {
 	if maxCycles <= 0 {
 		maxCycles = 200_000_000
 	}
-	return cs.run(maxCycles)
+	if kind == EngineDense {
+		return cs.runDense(maxCycles)
+	}
+	return cs.runEvent(maxCycles)
 }
 
 // arrival is a scheduled in-flight delivery on an edge.
@@ -28,36 +53,43 @@ type arrival struct {
 	n  int
 }
 
+// stallKind classifies why a counter-driven unit cannot fire.
+type stallKind uint8
+
+const (
+	stallNone  stallKind = iota
+	stallIn              // waiting on a data input
+	stallOut             // blocked on a full output buffer
+	stallToken           // waiting on a CMMC token or credit
+)
+
 // edgeState tracks one stream's receiver buffer and in-flight elements.
 type edgeState struct {
 	e       *dfg.Edge
 	occ     int // delivered, consumable elements/tokens
 	cap     int
+	infl    int // scheduled but undelivered elements (O(1) space checks)
 	pending []arrival
 	head    int
 	latency int64
 	served  int // VMU decimation counter
+	// armed marks that the event engine holds a heap event for this edge's
+	// earliest undelivered arrival (at most one event per edge is in flight).
+	armed bool
 }
 
-func (es *edgeState) inflight() int {
-	n := 0
-	for i := es.head; i < len(es.pending); i++ {
-		n += es.pending[i].n
-	}
-	return n
-}
+// inflight returns the undelivered element count. The counter is maintained
+// incrementally by schedule/deliver so space() — called in every enable check
+// of every unit — never rescans the pending list.
+func (es *edgeState) inflight() int { return es.infl }
 
-func (es *edgeState) space() int { return es.cap - es.occ - es.inflight() }
-
-// push schedules n elements to arrive after the edge latency.
-func (es *edgeState) push(now int64, n int) {
-	es.pending = append(es.pending, arrival{at: now + es.latency, n: n})
-}
+func (es *edgeState) space() int { return es.cap - es.occ - es.infl }
 
 // deliver moves arrived elements into the buffer.
 func (es *edgeState) deliver(now int64) {
 	for es.head < len(es.pending) && es.pending[es.head].at <= now {
 		es.occ += es.pending[es.head].n
+		es.infl -= es.pending[es.head].n
 		es.head++
 	}
 	if es.head > 64 && es.head == len(es.pending) {
@@ -102,6 +134,12 @@ type vuState struct {
 	stallIn    int64 // waiting on a data input
 	stallOut   int64 // blocked on a full output buffer
 	stallToken int64 // waiting on a CMMC token or credit
+	// lastStall is the most recent blocking cause; the cause cannot change
+	// while no edge of the unit changes, so fast-forwarded windows extend it.
+	lastStall stallKind
+
+	// wrapBuf backs wrapLevels so enable checks stay allocation-free.
+	wrapBuf []int
 
 	// VMU port table.
 	ports []*vmuPort
@@ -109,6 +147,17 @@ type vuState struct {
 
 	// merge round-robin input index.
 	mergeRR int
+}
+
+func (vs *vuState) addStall(k stallKind, n int64) {
+	switch k {
+	case stallIn:
+		vs.stallIn += n
+	case stallOut:
+		vs.stallOut += n
+	case stallToken:
+		vs.stallToken += n
+	}
 }
 
 // vmuPort is one access stream served by a memory unit.
@@ -131,9 +180,38 @@ type cycleSim struct {
 	now   int64
 	trace *Trace
 
+	// Engine hooks: every element scheduled onto an edge and every pop of a
+	// receiver buffer flows through schedule/pop below, so the event engine
+	// can maintain its arrival heap and wake the edge's waiters. Nil for the
+	// dense engine.
+	onSchedule func(es *edgeState, at int64)
+	onPop      func(es *edgeState)
+
 	firedTotal int64
 	busyCycles int64 // Σ over compute units of cycles spent firing
 	nCompute   int64
+}
+
+// schedule is the single scheduling point for stream traffic: n elements
+// arrive at the edge's receiver at cycle `at`. Routing every producer through
+// one method keeps the in-flight counter (and, under the event engine, the
+// arrival heap) consistent with the pending list by construction.
+func (cs *cycleSim) schedule(es *edgeState, at int64, n int) {
+	es.pending = append(es.pending, arrival{at: at, n: n})
+	es.infl += n
+	if cs.onSchedule != nil {
+		cs.onSchedule(es, at)
+	}
+}
+
+// pop consumes n delivered elements from the edge's receiver buffer. All
+// occupancy decrements route through here so the event engine can wake the
+// edge's space-waiter (its source unit).
+func (cs *cycleSim) pop(es *edgeState, n int) {
+	es.occ -= n
+	if cs.onPop != nil {
+		cs.onPop(es)
+	}
 }
 
 func newCycleSim(d *Design) (*cycleSim, error) {
@@ -293,14 +371,23 @@ func (cs *cycleSim) initVMU(vs *vuState) {
 	}
 }
 
-// run advances the simulation to completion.
-func (cs *cycleSim) run(maxCycles int64) (*Result, error) {
+// countRemaining returns the number of counter-driven units that must still
+// complete for the run to finish.
+func (cs *cycleSim) countRemaining() int {
 	remaining := 0
 	for _, vs := range cs.vus {
 		if vs != nil && vs.isCounterDriven() && vs.total > 0 {
 			remaining++
 		}
 	}
+	return remaining
+}
+
+// runDense advances the simulation to completion one cycle at a time,
+// scanning every edge and stepping every unit each cycle. It is the
+// reference oracle for the event engine.
+func (cs *cycleSim) runDense(maxCycles int64) (*Result, error) {
+	remaining := cs.countRemaining()
 	for cs.now = 0; cs.now < maxCycles; cs.now++ {
 		progress := false
 		for _, es := range cs.edges {
@@ -359,15 +446,30 @@ func (cs *cycleSim) run(maxCycles int64) (*Result, error) {
 			if next < 0 {
 				return nil, fmt.Errorf("sim: deadlock at cycle %d: %s", cs.now, cs.describeStuck())
 			}
+			// A blocked unit stays blocked for the same cause across the
+			// fast-forwarded window (no edge changes without an arrival), so
+			// stall accounting covers the skipped cycles too.
+			if skipped := next - 1 - cs.now; skipped > 0 {
+				for _, vs := range cs.vus {
+					if vs != nil && vs.isCounterDriven() && !vs.done {
+						vs.addStall(vs.lastStall, skipped)
+					}
+				}
+			}
 			cs.now = next - 1 // loop increment lands on the arrival cycle
 		}
 	}
 	if cs.now >= maxCycles {
 		return nil, fmt.Errorf("sim: exceeded %d cycles without completing", maxCycles)
 	}
+	return cs.buildResult(cs.now, "dense"), nil
+}
+
+// buildResult assembles the execution report after a completed run.
+func (cs *cycleSim) buildResult(cycles int64, engine string) *Result {
 	busy := 0.0
-	if cs.nCompute > 0 && cs.now > 0 {
-		busy = float64(cs.busyCycles) / float64(cs.nCompute*cs.now)
+	if cs.nCompute > 0 && cycles > 0 {
+		busy = float64(cs.busyCycles) / float64(cs.nCompute*cycles)
 	}
 	stalls := map[string]int64{}
 	var units []UnitStat
@@ -382,7 +484,7 @@ func (cs *cycleSim) run(maxCycles int64) (*Result, error) {
 			units = append(units, UnitStat{
 				Name:   vs.u.Name + vs.u.Instance,
 				Fired:  vs.fired,
-				Busy:   float64(vs.fired) / float64(cs.now),
+				Busy:   float64(vs.fired) / float64(cycles),
 				Stalls: vs.stallIn + vs.stallOut + vs.stallToken,
 			})
 		}
@@ -392,14 +494,14 @@ func (cs *cycleSim) run(maxCycles int64) (*Result, error) {
 		units = units[:10]
 	}
 	return &Result{
-		Cycles:      cs.now,
-		Engine:      "cycle",
+		Cycles:      cycles,
+		Engine:      engine,
 		ComputeBusy: busy,
 		DRAM:        cs.dram.Stats(),
 		FiredTotal:  cs.firedTotal,
 		Stalls:      stalls,
 		TopUnits:    units,
-	}, nil
+	}
 }
 
 func (vs *vuState) isCounterDriven() bool {
@@ -410,24 +512,22 @@ func (vs *vuState) isCounterDriven() bool {
 	return true
 }
 
-// stepCounterUnit attempts one firing of a counter-driven unit.
-func (cs *cycleSim) stepCounterUnit(vs *vuState) bool {
-	// Enabled: per-firing inputs available, level-popped inputs held,
-	// per-firing outputs have space.
+// blockCause returns why a counter-driven unit cannot fire this cycle, or
+// stallNone when it is enabled: per-firing inputs available, level-popped
+// inputs held, per-firing outputs (and any wrap-triggered pushes) have space.
+// Pure check — no state changes.
+func (cs *cycleSim) blockCause(vs *vuState) stallKind {
 	for _, es := range vs.inFire {
 		if es.occ < 1 {
 			if es.e.Kind == dfg.EToken {
-				vs.stallToken++
-			} else {
-				vs.stallIn++
+				return stallToken
 			}
-			return false
+			return stallIn
 		}
 	}
 	for _, es := range vs.holdIn {
 		if es.occ < 1 {
-			vs.stallToken++
-			return false
+			return stallToken
 		}
 	}
 	for _, grp := range vs.inAny {
@@ -436,34 +536,34 @@ func (cs *cycleSim) stepCounterUnit(vs *vuState) bool {
 			total += es.occ
 		}
 		if total < 1 {
-			vs.stallIn++
-			return false
+			return stallIn
 		}
 	}
 	for _, es := range vs.outFire {
 		if es.space() < 1 {
-			vs.stallOut++
-			return false
+			return stallOut
 		}
 	}
-	// Counter wraps this firing will trigger (innermost-out cascade).
-	wraps := vs.wrapLevels()
-	for _, lvl := range wraps {
+	for _, lvl := range vs.wrapLevels() {
 		for _, es := range vs.pushAt[lvl] {
 			if es.space() < 1 {
-				vs.stallOut++
-				return false
+				return stallOut
 			}
 		}
 	}
-	// Fire.
+	return stallNone
+}
+
+// fireCounterUnit performs one firing; the caller has established the unit is
+// enabled (blockCause == stallNone).
+func (cs *cycleSim) fireCounterUnit(vs *vuState) {
 	for _, es := range vs.inFire {
-		es.occ--
+		cs.pop(es, 1)
 	}
 	for _, grp := range vs.inAny {
 		for _, es := range grp {
 			if es.occ > 0 {
-				es.occ--
+				cs.pop(es, 1)
 				break
 			}
 		}
@@ -473,14 +573,14 @@ func (cs *cycleSim) stepCounterUnit(vs *vuState) bool {
 		lat = cs.agIssue(vs)
 	}
 	for _, es := range vs.outFire {
-		es.pending = append(es.pending, arrival{at: cs.now + lat + es.latency, n: 1})
+		cs.schedule(es, cs.now+lat+es.latency, 1)
 	}
-	for _, lvl := range wraps {
+	for _, lvl := range vs.wrapLevels() {
 		for _, es := range vs.pushAt[lvl] {
-			es.pending = append(es.pending, arrival{at: cs.now + lat + es.latency, n: 1})
+			cs.schedule(es, cs.now+lat+es.latency, 1)
 		}
 		for _, es := range vs.popAt[lvl] {
-			es.occ--
+			cs.pop(es, 1)
 		}
 	}
 	vs.advanceCounters()
@@ -492,22 +592,31 @@ func (cs *cycleSim) stepCounterUnit(vs *vuState) bool {
 	if vs.fired >= vs.total {
 		vs.done = true
 	}
+}
+
+// stepCounterUnit attempts one firing of a counter-driven unit (dense path).
+func (cs *cycleSim) stepCounterUnit(vs *vuState) bool {
+	cause := cs.blockCause(vs)
+	if cause != stallNone {
+		vs.addStall(cause, 1)
+		vs.lastStall = cause
+		return false
+	}
+	cs.fireCounterUnit(vs)
 	return true
 }
 
 // wrapLevels returns the counter levels (indices) that wrap on the next
-// firing, innermost first.
+// firing, innermost first. The returned slice is reused across calls.
 func (vs *vuState) wrapLevels() []int {
-	var wraps []int
+	wraps := vs.wrapBuf[:0]
 	for i := len(vs.idx) - 1; i >= 0; i-- {
 		if vs.idx[i]+1 < vs.u.Counters[i].Trip {
 			break
 		}
 		wraps = append(wraps, i)
 	}
-	if len(vs.idx) == 0 {
-		return nil
-	}
+	vs.wrapBuf = wraps
 	return wraps
 }
 
@@ -558,7 +667,7 @@ func (cs *cycleSim) serveVMUPort(vs *vuState, write bool) bool {
 		// broadcast at line rate: only every decimate-th element occupies a
 		// real service slot (paper Fig 8b).
 		for p.decimate > 1 && in.occ > 0 && p.served%int64(p.decimate) != 0 {
-			in.occ--
+			cs.pop(in, 1)
 			p.served++
 			progress = true
 		}
@@ -572,7 +681,7 @@ func (cs *cycleSim) serveVMUPort(vs *vuState, write bool) bool {
 				continue
 			}
 		}
-		in.occ--
+		cs.pop(in, 1)
 		p.rrIn++
 		p.served++
 		if cs.trace != nil {
@@ -581,7 +690,7 @@ func (cs *cycleSim) serveVMUPort(vs *vuState, write bool) bool {
 			})
 		}
 		if out != nil {
-			out.pending = append(out.pending, arrival{at: cs.now + int64(cs.d.Spec.PMU.Stages) + out.latency, n: 1})
+			cs.schedule(out, cs.now+int64(cs.d.Spec.PMU.Stages)+out.latency, 1)
 			p.rrOut++
 		}
 		vs.rrIn++
@@ -605,8 +714,8 @@ func (cs *cycleSim) stepMerge(vs *vuState) bool {
 		if in.occ < 1 || out.space() < 1 {
 			continue
 		}
-		in.occ--
-		out.pending = append(out.pending, arrival{at: cs.now + 1 + out.latency, n: 1})
+		cs.pop(in, 1)
+		cs.schedule(out, cs.now+1+out.latency, 1)
 		progress = true
 	}
 	return progress
@@ -621,8 +730,8 @@ func (cs *cycleSim) stepRetime(vs *vuState) bool {
 	if in.occ < 1 || out.space() < 1 {
 		return false
 	}
-	in.occ--
-	out.pending = append(out.pending, arrival{at: cs.now + 1 + out.latency, n: 1})
+	cs.pop(in, 1)
+	cs.schedule(out, cs.now+1+out.latency, 1)
 	return true
 }
 
@@ -643,10 +752,10 @@ func (cs *cycleSim) stepSync(vs *vuState) bool {
 		return false
 	}
 	for _, es := range vs.inFire {
-		es.occ--
+		cs.pop(es, 1)
 	}
 	for _, es := range vs.outFire {
-		es.pending = append(es.pending, arrival{at: cs.now + 1 + es.latency, n: 1})
+		cs.schedule(es, cs.now+1+es.latency, 1)
 	}
 	return true
 }
@@ -684,6 +793,11 @@ func (cs *cycleSim) describeStuck() string {
 					n++
 				}
 			}
+		}
+	}
+	for c := 0; c < cs.dram.Channels(); c++ {
+		if ready := cs.dram.NextReady(c); ready > cs.now {
+			sb = fmt.Appendf(sb, "; dram channel %d busy until cycle %d", c, ready)
 		}
 	}
 	if n == 0 {

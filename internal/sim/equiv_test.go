@@ -1,0 +1,150 @@
+package sim_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sara/internal/arch"
+	"sara/internal/core"
+	"sara/internal/dfg"
+	"sara/internal/ir"
+	"sara/internal/sim"
+	"sara/internal/workloads"
+)
+
+// assertEnginesMatch runs a design through both cycle engines and requires
+// bit-identical execution reports: the event engine's heaps, wake lists, and
+// batch firing must not change a single observable number relative to the
+// dense oracle.
+func assertEnginesMatch(t *testing.T, d *sim.Design, maxCycles int64) {
+	t.Helper()
+	evt, err := sim.CycleEngine(d, maxCycles, sim.EngineEvent)
+	if err != nil {
+		t.Fatalf("event engine: %v", err)
+	}
+	den, err := sim.CycleEngine(d, maxCycles, sim.EngineDense)
+	if err != nil {
+		t.Fatalf("dense engine: %v", err)
+	}
+	if evt.Cycles != den.Cycles {
+		t.Errorf("Cycles: event %d, dense %d", evt.Cycles, den.Cycles)
+	}
+	if evt.FiredTotal != den.FiredTotal {
+		t.Errorf("FiredTotal: event %d, dense %d", evt.FiredTotal, den.FiredTotal)
+	}
+	if evt.ComputeBusy != den.ComputeBusy {
+		t.Errorf("ComputeBusy: event %v, dense %v", evt.ComputeBusy, den.ComputeBusy)
+	}
+	if evt.DRAM != den.DRAM {
+		t.Errorf("DRAM: event %+v, dense %+v", evt.DRAM, den.DRAM)
+	}
+	for _, kind := range []string{"input-starved", "output-blocked", "token-wait"} {
+		if evt.Stalls[kind] != den.Stalls[kind] {
+			t.Errorf("Stalls[%s]: event %d, dense %d", kind, evt.Stalls[kind], den.Stalls[kind])
+		}
+	}
+	if len(evt.TopUnits) != len(den.TopUnits) {
+		t.Fatalf("TopUnits: event %d entries, dense %d", len(evt.TopUnits), len(den.TopUnits))
+	}
+	for i := range evt.TopUnits {
+		if evt.TopUnits[i] != den.TopUnits[i] {
+			t.Errorf("TopUnits[%d]: event %+v, dense %+v", i, evt.TopUnits[i], den.TopUnits[i])
+		}
+	}
+}
+
+// TestEngineEquivalenceWorkloads drains every registered benchmark through
+// both engines and requires identical results — the acceptance gate for the
+// event engine.
+func TestEngineEquivalenceWorkloads(t *testing.T) {
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			prog := w.Build(workloads.Params{Par: 4, Scale: 64})
+			cfg := core.DefaultConfig()
+			cfg.SkipPlace = true
+			c, err := core.Compile(prog, cfg)
+			if err != nil {
+				t.Fatalf("Compile: %v", err)
+			}
+			assertEnginesMatch(t, c.Design(), 30_000_000)
+		})
+	}
+}
+
+// TestEngineEquivalenceSynthetic covers shapes the workload suite
+// under-represents: deep single streams, tiled reuse with credit loops, and
+// randomly generated pipelines (including dynamic control flow).
+func TestEngineEquivalenceSynthetic(t *testing.T) {
+	t.Run("stream", func(t *testing.T) {
+		c, err := core.Compile(streamProg(4096, 4), core.DefaultConfig())
+		if err != nil {
+			t.Fatalf("Compile: %v", err)
+		}
+		assertEnginesMatch(t, c.Design(), 20_000_000)
+	})
+	t.Run("tiled", func(t *testing.T) {
+		c, err := core.Compile(tiledProg(8, 64, 2), core.DefaultConfig())
+		if err != nil {
+			t.Fatalf("Compile: %v", err)
+		}
+		assertEnginesMatch(t, c.Design(), 20_000_000)
+	})
+	t.Run("random", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(23))
+		for trial := 0; trial < 8; trial++ {
+			c, err := core.Compile(randomProgram(rng, trial), core.DefaultConfig())
+			if err != nil {
+				t.Fatalf("trial %d: Compile: %v", trial, err)
+			}
+			assertEnginesMatch(t, c.Design(), 20_000_000)
+		}
+	})
+	t.Run("control", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(59))
+		for trial := 0; trial < 6; trial++ {
+			c, err := core.Compile(randomControlProgram(rng), core.DefaultConfig())
+			if err != nil {
+				t.Fatalf("trial %d: Compile: %v", trial, err)
+			}
+			assertEnginesMatch(t, c.Design(), 20_000_000)
+		}
+	})
+}
+
+// deadlockDesign hand-builds a VUDFG that starves: unit A holds one initial
+// credit and needs a token back per firing, but unit B only returns tokens
+// when its 4-deep counter wraps — and A can never feed it 4 elements on one
+// credit. Both engines must report the deadlock, at the same cycle, with the
+// same diagnosis.
+func deadlockDesign() *sim.Design {
+	g := dfg.NewGraph(&ir.Program{TypeBits: 32})
+	a := g.AddVU(dfg.VCUCompute, "a")
+	a.Counters = []dfg.Counter{{Ctrl: ir.CtrlID(1), Trip: 8}}
+	b := g.AddVU(dfg.VCUCompute, "b")
+	b.Counters = []dfg.Counter{{Ctrl: ir.CtrlID(2), Trip: 4}}
+	data := g.AddEdge(a.ID, b.ID, dfg.EData)
+	data.Depth = 4
+	tok := g.AddEdge(b.ID, a.ID, dfg.EToken)
+	tok.LCD = true
+	tok.Init = 1
+	tok.PushCtrl = ir.CtrlID(2) // token returns only when B's counter wraps
+	return &sim.Design{G: g, Spec: arch.SARA20x20()}
+}
+
+// TestEngineEquivalenceDeadlock asserts both engines detect the starvation
+// at the same cycle with identical diagnostics.
+func TestEngineEquivalenceDeadlock(t *testing.T) {
+	_, evtErr := sim.CycleEngine(deadlockDesign(), 1_000_000, sim.EngineEvent)
+	_, denErr := sim.CycleEngine(deadlockDesign(), 1_000_000, sim.EngineDense)
+	if evtErr == nil || denErr == nil {
+		t.Fatalf("expected deadlock from both engines: event=%v dense=%v", evtErr, denErr)
+	}
+	if !strings.Contains(evtErr.Error(), "deadlock at cycle") {
+		t.Errorf("event error lacks deadlock diagnosis: %v", evtErr)
+	}
+	if evtErr.Error() != denErr.Error() {
+		t.Errorf("deadlock reports differ:\n event: %v\n dense: %v", evtErr, denErr)
+	}
+}

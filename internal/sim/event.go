@@ -1,0 +1,472 @@
+package sim
+
+// The event-driven engine. Identical semantics to runDense — same firing
+// cycles, same arrival schedules, same stall totals — but cost proportional
+// to activity instead of cycles x (edges + units):
+//
+//   - Arrival heap: every scheduled delivery is an event on a min-heap keyed
+//     by cycle; deliver cost is O(arrivals log n), not O(edges) per cycle.
+//   - Wake lists: a unit is re-evaluated only when an edge it waits on
+//     changes. Edges are point-to-point, so the wake lists degenerate to two
+//     waiters — a delivery wakes the edge's destination (occupancy waiter),
+//     a pop wakes its source (space waiter). Invariant: any state a unit's
+//     enable check reads changes only through deliver or pop, and both wake
+//     the affected waiter, so a parked unit can never miss its unblocking.
+//   - Batch firing: when a counter-driven unit can provably fire k
+//     back-to-back times (see batchSize), the k firings collapse into one
+//     scheduling step with the out-arrivals staggered exactly as dense would
+//     have produced them.
+//
+// Intra-cycle ordering mirrors the dense engine's ascending-VU-ID pass:
+// woken units are processed through a min-heap of IDs, and a pop performed by
+// unit j is visible to a waiter i in the same cycle only when i > j (i is
+// still ahead of j in the ID order); otherwise the wake lands on the next
+// cycle.
+
+import (
+	"fmt"
+	"math/bits"
+
+	"sara/internal/dfg"
+)
+
+// arrivalEvent is a scheduled delivery on an edge. It carries the edge's ID
+// rather than a pointer so heap sifts move pointer-free words (no GC write
+// barriers on the hot path).
+type arrivalEvent struct {
+	at int64
+	ei int32
+}
+
+// timerEvent re-evaluates one unit at a future cycle.
+type timerEvent struct {
+	at int64
+	id int
+}
+
+type eventSim struct {
+	cs *cycleSim
+
+	arrivals arrivalHeap
+	timers   timerHeap
+	// curr is the set of units to step this cycle, one bit per VU ID,
+	// scanned in ascending order. Same-cycle wakes only ever set bits above
+	// the scan cursor, so a single forward pass sees every woken unit.
+	curr    []uint64
+	currAny bool
+
+	// reserved marks a unit mid-batch through the given cycle: stale wakes
+	// inside the window are skipped so the batch's firings stay back-to-back.
+	reserved []int64
+	// parked marks units waiting on an edge change. A non-parked live unit
+	// always holds a curr or timer entry (it reschedules itself after every
+	// evaluation), so pops and deliveries only need to wake parked units.
+	parked []bool
+	// blockedSince/blockedCause record a parked unit's stall interval; the
+	// cause cannot change while the unit is parked (nothing it reads changed,
+	// or it would have been woken), so the whole interval settles against one
+	// category at the next evaluation — matching dense cycle-by-cycle counts.
+	blockedSince []int64
+	blockedCause []stallKind
+	lastEnq      []int64 // dedupe: last timer cycle enqueued per unit
+
+	processing int // VU ID being stepped; -1 outside the stepping pass
+	now        int64
+	lastFire   int64
+	remaining  int
+	progressed bool
+}
+
+// runEvent advances the simulation to completion, event by event.
+func (cs *cycleSim) runEvent(maxCycles int64) (*Result, error) {
+	n := len(cs.vus)
+	ev := &eventSim{
+		cs:           cs,
+		curr:         make([]uint64, (n+63)/64),
+		reserved:     make([]int64, n),
+		parked:       make([]bool, n),
+		blockedSince: make([]int64, n),
+		blockedCause: make([]stallKind, n),
+		lastEnq:      make([]int64, n),
+		processing:   -1,
+		lastFire:     -1,
+	}
+	for i := range ev.blockedSince {
+		ev.blockedSince[i] = -1
+		ev.lastEnq[i] = -1
+	}
+	cs.onSchedule = ev.onSchedule
+	cs.onPop = ev.onPop
+	ev.remaining = cs.countRemaining()
+	// Every live unit is a candidate at cycle 0 (the dense engine's first
+	// full pass); afterwards only woken units are re-evaluated.
+	for id, vs := range cs.vus {
+		if vs != nil {
+			ev.wakeNow(id)
+		}
+	}
+	for {
+		cs.now = ev.now
+		ev.processing = -1
+		// Deliver every arrival due this cycle and wake each receiver. All
+		// deliveries precede unit evaluation, as in the dense engine. Each
+		// edge holds one armed event at its earliest undelivered arrival;
+		// delivering re-arms it for the next one.
+		for len(ev.arrivals) > 0 && ev.arrivals[0].at <= ev.now {
+			e := ev.arrivals.pop()
+			es := cs.edges[e.ei]
+			es.deliver(ev.now)
+			if na := es.nextArrival(); na >= 0 {
+				ev.arrivals.push(arrivalEvent{at: na, ei: e.ei})
+			} else {
+				es.armed = false
+			}
+			ev.wakeUnit(int(es.e.Dst))
+		}
+		// Step woken units in ascending ID order. Same-cycle wakes only ever
+		// target IDs above the actor, so one forward pass over the bitset
+		// sees every woken unit.
+		ev.progressed = false
+		if ev.currAny {
+			ev.currAny = false
+			for w := 0; w < len(ev.curr); w++ {
+				for ev.curr[w] != 0 {
+					b := bits.TrailingZeros64(ev.curr[w])
+					ev.curr[w] &^= 1 << uint(b)
+					id := w*64 + b
+					vs := cs.vus[id]
+					if vs == nil || ev.reserved[id] > ev.now {
+						continue
+					}
+					ev.processing = id
+					ev.step(vs)
+				}
+			}
+		}
+		ev.processing = -1
+		if ev.remaining == 0 {
+			end := ev.now
+			if ev.lastFire > end {
+				end = ev.lastFire
+			}
+			if end+1 >= maxCycles {
+				return nil, fmt.Errorf("sim: exceeded %d cycles without completing", maxCycles)
+			}
+			return cs.buildResult(end+1, "cycle"), nil
+		}
+		// Advance to the next event.
+		next := int64(-1)
+		if len(ev.arrivals) > 0 {
+			next = ev.arrivals[0].at
+		}
+		if len(ev.timers) > 0 && (next < 0 || ev.timers[0].at < next) {
+			next = ev.timers[0].at
+		}
+		if next < 0 {
+			if ev.progressed {
+				// The dense engine detects deadlock on its first fully idle
+				// cycle, one past the last progress.
+				ev.now++
+				cs.now = ev.now
+			}
+			return nil, fmt.Errorf("sim: deadlock at cycle %d: %s", cs.now, cs.describeStuck())
+		}
+		if next >= maxCycles {
+			return nil, fmt.Errorf("sim: exceeded %d cycles without completing", maxCycles)
+		}
+		ev.now = next
+		for len(ev.timers) > 0 && ev.timers[0].at <= ev.now {
+			ev.wakeNow(ev.timers.pop().id)
+		}
+	}
+}
+
+// onSchedule arms the edge's heap event if none is in flight. Arrivals are
+// scheduled in non-decreasing order per edge (one producer, monotone
+// latency), so an armed event always sits at the earliest undelivered
+// arrival and later arrivals are found when the edge re-arms on delivery.
+func (ev *eventSim) onSchedule(es *edgeState, at int64) {
+	if !es.armed {
+		es.armed = true
+		ev.arrivals.push(arrivalEvent{at: at, ei: int32(es.e.ID)})
+	}
+}
+
+// onPop wakes the edge's space-waiter (its source) if it is parked. The pop
+// is visible to the source in the same cycle only if the source is later in
+// the ID order than the acting unit, exactly as in the dense engine's
+// in-order pass.
+func (ev *eventSim) onPop(es *edgeState) {
+	id := int(es.e.Src)
+	if !ev.parked[id] {
+		return
+	}
+	if id > ev.processing {
+		ev.wakeNow(id)
+	} else {
+		ev.wakeAt(id, ev.now+1)
+	}
+}
+
+// wakeUnit enqueues a parked unit for evaluation this cycle (the delivery
+// path; a non-parked unit already holds its own wake).
+func (ev *eventSim) wakeUnit(id int) {
+	if ev.parked[id] {
+		ev.wakeNow(id)
+	}
+}
+
+func (ev *eventSim) wakeNow(id int) {
+	ev.parked[id] = false
+	ev.curr[id>>6] |= 1 << uint(id&63)
+	ev.currAny = true
+}
+
+func (ev *eventSim) wakeAt(id int, at int64) {
+	if at <= ev.now {
+		ev.wakeNow(id)
+		return
+	}
+	ev.parked[id] = false
+	if ev.lastEnq[id] == at {
+		return
+	}
+	ev.lastEnq[id] = at
+	ev.timers.push(timerEvent{at: at, id: id})
+}
+
+// step evaluates one unit at the current cycle.
+func (ev *eventSim) step(vs *vuState) {
+	cs := ev.cs
+	id := int(vs.u.ID)
+	switch vs.u.Kind {
+	case dfg.VMU:
+		if cs.stepVMU(vs) {
+			ev.progressed = true
+			ev.wakeAt(id, ev.now+1)
+		} else {
+			ev.parked[id] = true
+		}
+	case dfg.VCUMerge:
+		if cs.stepMerge(vs) {
+			ev.progressed = true
+			ev.wakeAt(id, ev.now+1)
+		} else {
+			ev.parked[id] = true
+		}
+	case dfg.VCURetime:
+		if cs.stepRetime(vs) {
+			ev.progressed = true
+			ev.wakeAt(id, ev.now+1)
+		} else {
+			ev.parked[id] = true
+		}
+	case dfg.VCUSync:
+		if cs.stepSync(vs) {
+			ev.progressed = true
+			ev.wakeAt(id, ev.now+1)
+		} else {
+			ev.parked[id] = true
+		}
+	default:
+		if vs.done {
+			return
+		}
+		// Settle the stall interval accumulated while parked.
+		if ev.blockedSince[id] >= 0 {
+			vs.addStall(ev.blockedCause[id], ev.now-ev.blockedSince[id])
+			ev.blockedSince[id] = -1
+		}
+		cause := cs.blockCause(vs)
+		if cause != stallNone {
+			// Park. The next deliver/pop on the blocking edge wakes us.
+			ev.blockedSince[id] = ev.now
+			ev.blockedCause[id] = cause
+			ev.parked[id] = true
+			return
+		}
+		k := ev.batchSize(vs)
+		if k <= 1 {
+			k = 1
+			cs.fireCounterUnit(vs)
+		} else {
+			ev.batchFire(vs, k)
+		}
+		ev.progressed = true
+		if end := ev.now + k - 1; end > ev.lastFire {
+			ev.lastFire = end
+		}
+		if vs.done {
+			ev.remaining--
+			return
+		}
+		ev.reserved[id] = ev.now + k
+		ev.wakeAt(id, ev.now+k)
+	}
+}
+
+// batchSize returns how many back-to-back firings of vs are provably
+// identical to what the dense engine would execute over the next k cycles:
+//
+//   - k never reaches a counter wrap (wrap-triggered pushes/pops and the
+//     carry cascade are handled one firing at a time), never exceeds the
+//     occupancy of any per-firing input or the space of any per-firing
+//     output, and never includes a VAG firing (DRAM issue order and queueing
+//     are per-request) or an inAny choice (bank selection is stateful).
+//   - Level-popped (holdIn) inputs only need occupancy >= 1 throughout the
+//     window; nothing but deliveries touches them mid-batch, and deliveries
+//     only raise occupancy.
+//   - The k input pops are applied up front, which inflates the producers'
+//     view of free space relative to dense's one-pop-per-cycle. That is
+//     observable only if a producer was space-blocked: we require each
+//     per-firing input to have space >= 1 before the batch (then dense's
+//     producer is never space-blocked inside the window either — the
+//     consumer frees one slot per cycle and the producer fills at most one,
+//     so enablement is identical in both worlds) and fall back to single
+//     firing otherwise. Merge producers can push more than one element per
+//     cycle into an edge, so a merge-fed input disables batching outright.
+func (ev *eventSim) batchSize(vs *vuState) int64 {
+	cs := ev.cs
+	if vs.u.Kind == dfg.VAG || len(vs.inAny) > 0 || cs.trace != nil {
+		return 1
+	}
+	k := vs.total - vs.fired
+	if n := len(vs.idx); n > 0 {
+		if room := int64(vs.u.Counters[n-1].Trip - 1 - vs.idx[n-1]); room < k {
+			k = room
+		}
+	}
+	if k < 2 {
+		return 1
+	}
+	for _, es := range vs.inFire {
+		if int64(es.occ) < k {
+			k = int64(es.occ)
+		}
+		src := cs.vus[es.e.Src]
+		if src != nil && !(src.done && src.isCounterDriven()) {
+			if src.u.Kind == dfg.VCUMerge || es.space() < 1 {
+				return 1
+			}
+		}
+	}
+	for _, es := range vs.outFire {
+		if s := int64(es.space()); s < k {
+			k = s
+		}
+	}
+	if k < 2 {
+		return 1
+	}
+	return k
+}
+
+// batchFire performs k back-to-back firings in one scheduling step. The
+// caller (batchSize) has established no counter wraps, no VAG work, and no
+// inAny choices occur in the window.
+func (ev *eventSim) batchFire(vs *vuState, k int64) {
+	cs := ev.cs
+	for _, es := range vs.inFire {
+		cs.pop(es, int(k))
+	}
+	lat := int64(vs.u.Stages)
+	for _, es := range vs.outFire {
+		// Stagger the arrivals exactly as k single-cycle firings would.
+		for i := int64(0); i < k; i++ {
+			cs.schedule(es, cs.now+i+lat+es.latency, 1)
+		}
+	}
+	if n := len(vs.idx); n > 0 {
+		vs.idx[n-1] += int(k) // no carry: batchSize kept the innermost level short of a wrap
+	}
+	vs.fired += k
+	cs.firedTotal += k
+	if vs.u.Kind.IsCompute() {
+		cs.busyCycles += k
+	}
+	if vs.fired >= vs.total {
+		vs.done = true
+	}
+}
+
+// Min-heaps, hand-rolled to keep the hot paths free of interface dispatch.
+
+type arrivalHeap []arrivalEvent
+
+func (h *arrivalHeap) push(e arrivalEvent) {
+	s := append(*h, e)
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s[p].at <= s[i].at {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
+	*h = s
+}
+
+func (h *arrivalHeap) pop() arrivalEvent {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	for i := 0; ; {
+		l, r, m := 2*i+1, 2*i+2, i
+		if l < n && s[l].at < s[m].at {
+			m = l
+		}
+		if r < n && s[r].at < s[m].at {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	return top
+}
+
+type timerHeap []timerEvent
+
+func (h *timerHeap) push(e timerEvent) {
+	s := append(*h, e)
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s[p].at <= s[i].at {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
+	*h = s
+}
+
+func (h *timerHeap) pop() timerEvent {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	for i := 0; ; {
+		l, r, m := 2*i+1, 2*i+2, i
+		if l < n && s[l].at < s[m].at {
+			m = l
+		}
+		if r < n && s[r].at < s[m].at {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	return top
+}

@@ -37,7 +37,10 @@ func (t *Trace) PortHistory(access string) []int64 {
 }
 
 // CycleWithTrace runs the cycle engine while recording every memory-port
-// service event.
+// service event. Traces always come from the dense engine: the trace is the
+// ordering oracle CMMC verification leans on, and the event engine's batch
+// firing can end a run before tail VMU services that never affect the Result
+// would have been recorded.
 func CycleWithTrace(d *Design, maxCycles int64) (*Result, *Trace, error) {
 	cs, err := newCycleSim(d)
 	if err != nil {
@@ -48,7 +51,7 @@ func CycleWithTrace(d *Design, maxCycles int64) (*Result, *Trace, error) {
 	if maxCycles <= 0 {
 		maxCycles = 200_000_000
 	}
-	r, err := cs.run(maxCycles)
+	r, err := cs.runDense(maxCycles)
 	if err != nil {
 		return nil, nil, err
 	}

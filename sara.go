@@ -130,6 +130,10 @@ const (
 	// EngineAnalytic is the steady-state bottleneck model, validated against
 	// EngineCycle and suitable for paper-scale sweeps.
 	EngineAnalytic
+	// EngineDense is the dense reference implementation of the cycle-level
+	// simulator: same results as EngineCycle, cost linear in cycles. Use it
+	// to cross-check the default event-driven engine.
+	EngineDense
 )
 
 // Resources summarizes physical-unit usage.
@@ -160,6 +164,8 @@ func (d *Design) Simulate(e Engine) (*Report, error) {
 	switch e {
 	case EngineCycle:
 		r, err = sim.Cycle(d.c.Design(), 0)
+	case EngineDense:
+		r, err = sim.CycleEngine(d.c.Design(), 0, sim.EngineDense)
 	case EngineAnalytic:
 		r, err = sim.Analytic(d.c.Design())
 	default:
