@@ -22,16 +22,20 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 20m ./...
 
 bench:
-	$(GO) run ./cmd/sarabench -o BENCH_sim.json
+	$(GO) run ./cmd/sarabench -o BENCH_sim.json -compile-o BENCH_compile.json
 	$(GO) test -bench=. -benchmem
 
-# One iteration of the engine comparison: catches bit-rot in the benchmark
-# harness without paying for a full timing run.
+# One iteration of the engine comparison plus a tiny compile-benchmark
+# subset: catches bit-rot in both harnesses without paying for a full
+# timing run. The smoke compile report goes to a scratch path — only
+# `make bench` refreshes the committed BENCH files.
 benchsmoke:
 	$(GO) test -run '^$$' -bench BenchmarkCycleEngine -benchtime 1x .
+	$(GO) run ./cmd/sarabench -mode compile -smoke -compile-reps 1 \
+		-compile-o $${TMPDIR:-/tmp}/BENCH_compile_smoke.json
 
 # Run the compile-and-simulate daemon locally.
 serve:

@@ -1,13 +1,21 @@
-// Command sarabench times the two cycle-level engines on the same compiled
+// Command sarabench produces the committed benchmark records.
+//
+// Simulation mode times the two cycle-level engines on the same compiled
 // designs and writes the comparison to BENCH_sim.json — the committed record
 // of the event engine's speedup over the dense reference. The workload set
 // mirrors BenchmarkCycleEngine in bench_test.go: rf is the token-stall-heavy
 // case the event engine targets, sort is moderately sparse, and bs is a
 // small busy graph where the dense scan is near-free.
 //
+// Compile mode times the compiler itself and writes BENCH_compile.json: a
+// traversal row per registered workload for per-stage coverage, plus solver
+// rows that compare the pre-optimization MIP path (serial branch-and-bound,
+// cold LP relaxations) against the warm-started speculative search.
+//
 // Usage:
 //
-//	sarabench [-reps 10] [-o BENCH_sim.json]
+//	sarabench [-mode all|sim|compile] [-reps 10] [-o BENCH_sim.json]
+//	          [-compile-reps 1] [-compile-o BENCH_compile.json] [-smoke]
 package main
 
 import (
@@ -19,6 +27,7 @@ import (
 
 	"sara/internal/arch"
 	"sara/internal/core"
+	"sara/internal/eval"
 	"sara/internal/sim"
 	"sara/internal/workloads"
 )
@@ -85,43 +94,95 @@ func timeEngine(d *sim.Design, kind sim.EngineKind, reps int) (EngineStat, *sim.
 	}, last, nil
 }
 
-func main() {
-	var (
-		reps = flag.Int("reps", 10, "repetitions per engine (best-of timing)")
-		out  = flag.String("o", "BENCH_sim.json", "output path")
-	)
-	flag.Parse()
+// compileCases is the BENCH_compile.json workload set: every registered
+// workload through the traversal path for per-stage coverage, and the three
+// solver-partitioned cases whose MIP trees the warm-started parallel search
+// accelerates. bs carries the heaviest LP relaxations, so its tree is kept
+// shallow; rf and ms explore deeper trees of small LPs.
+func compileCases() []eval.CompileBenchCase {
+	var cases []eval.CompileBenchCase
+	for _, w := range workloads.All() {
+		cases = append(cases, eval.CompileBenchCase{Workload: w.Name, Par: 16, Scale: 16})
+	}
+	for _, s := range []eval.CompileBenchCase{
+		{Workload: "bs", Par: 16, Scale: 16, Solver: true, MaxNodes: 4},
+		{Workload: "rf", Par: 16, Scale: 16, Solver: true, MaxNodes: 60},
+		{Workload: "ms", Par: 16, Scale: 16, Solver: true, MaxNodes: 60},
+	} {
+		cases = append(cases, s)
+	}
+	return cases
+}
 
-	rep := Report{Reps: *reps}
+// smokeCases is the one-iteration `make benchsmoke` subset: a single cheap
+// solver case plus one traversal case, enough to catch harness bit-rot
+// without paying for a timing run.
+func smokeCases() []eval.CompileBenchCase {
+	return []eval.CompileBenchCase{
+		{Workload: "mlp", Par: 4, Scale: 16},
+		{Workload: "rf", Par: 4, Scale: 16, Solver: true, MaxNodes: 10},
+	}
+}
+
+func runCompile(reps int, out string, smoke bool) error {
+	cases := compileCases()
+	if smoke {
+		cases = smokeCases()
+	}
+	rows, err := eval.CompileBench(cases, reps)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if r.Solver {
+			fmt.Printf("%-6s par=%-4d scale=%-4d solver   cold %9.1fms  warm %9.1fms  speedup %.2fx  nodes=%d\n",
+				r.Workload, r.Par, r.Scale, r.Baseline.TotalMS, r.Optimized.TotalMS, r.Speedup, r.Optimized.MIPNodes)
+		} else {
+			fmt.Printf("%-6s par=%-4d scale=%-4d traversal %8.1fms\n",
+				r.Workload, r.Par, r.Scale, r.Optimized.TotalMS)
+		}
+	}
+	doc := struct {
+		Reps int                    `json:"reps"`
+		Rows []eval.CompileBenchRow `json:"rows"`
+	}{Reps: reps, Rows: rows}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+func runSim(reps int, out string) error {
+	rep := Report{Reps: reps}
 	for _, bc := range benchCases {
 		w, err := workloads.ByName(bc.workload)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		cfg := core.DefaultConfig()
 		cfg.Spec = arch.SARA20x20()
 		cfg.SkipPlace = true
 		c, err := core.Compile(w.Build(workloads.Params{Par: bc.par, Scale: bc.scale}), cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "compile %s: %v\n", bc.workload, err)
-			os.Exit(1)
+			return fmt.Errorf("compile %s: %w", bc.workload, err)
 		}
 		d := c.Design()
-		ev, er, err := timeEngine(d, sim.EngineEvent, *reps)
+		ev, er, err := timeEngine(d, sim.EngineEvent, reps)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "event %s: %v\n", bc.workload, err)
-			os.Exit(1)
+			return fmt.Errorf("event %s: %w", bc.workload, err)
 		}
-		de, dr, err := timeEngine(d, sim.EngineDense, *reps)
+		de, dr, err := timeEngine(d, sim.EngineDense, reps)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "dense %s: %v\n", bc.workload, err)
-			os.Exit(1)
+			return fmt.Errorf("dense %s: %w", bc.workload, err)
 		}
 		if er.Cycles != dr.Cycles || er.FiredTotal != dr.FiredTotal {
-			fmt.Fprintf(os.Stderr, "%s: engines disagree (cycles %d vs %d, fired %d vs %d)\n",
+			return fmt.Errorf("%s: engines disagree (cycles %d vs %d, fired %d vs %d)",
 				bc.workload, er.Cycles, dr.Cycles, er.FiredTotal, dr.FiredTotal)
-			os.Exit(1)
 		}
 		row := Row{
 			Workload: bc.workload, Par: bc.par, Scale: bc.scale,
@@ -139,12 +200,40 @@ func main() {
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		return err
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+func main() {
+	var (
+		mode        = flag.String("mode", "all", "which benchmarks to run: all, sim, or compile")
+		reps        = flag.Int("reps", 10, "repetitions per engine (best-of timing)")
+		out         = flag.String("o", "BENCH_sim.json", "simulation output path")
+		compileReps = flag.Int("compile-reps", 1, "repetitions per compile leg (best-of timing)")
+		compileOut  = flag.String("compile-o", "BENCH_compile.json", "compile output path")
+		smoke       = flag.Bool("smoke", false, "compile mode only: run the tiny smoke subset")
+	)
+	flag.Parse()
+
+	if *mode != "all" && *mode != "sim" && *mode != "compile" {
+		fmt.Fprintf(os.Stderr, "unknown -mode %q (want all, sim, or compile)\n", *mode)
 		os.Exit(1)
 	}
-	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	if *mode == "all" || *mode == "sim" {
+		if err := runSim(*reps, *out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
-	fmt.Printf("wrote %s\n", *out)
+	if *mode == "all" || *mode == "compile" {
+		if err := runCompile(*compileReps, *compileOut, *smoke); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 }

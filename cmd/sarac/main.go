@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	sarac -workload mlp -par 64 [-chip 20x20|v1] [-scale 1] [-solver] [-dump]
+//	sarac -workload mlp -par 64 [-chip 20x20|v1] [-scale 1] [-solver]
+//	      [-solver-workers N] [-dump]
 package main
 
 import (
@@ -22,13 +23,14 @@ import (
 
 func main() {
 	var (
-		name   = flag.String("workload", "mlp", "benchmark to compile: "+strings.Join(workloads.Names(), ", "))
-		par    = flag.Int("par", 16, "total parallelization factor")
-		scale  = flag.Int("scale", 1, "problem-size divisor (1 = paper scale)")
-		chip   = flag.String("chip", "20x20", "target chip: 20x20 (HBM2) or v1 (DDR3)")
-		solver = flag.Bool("solver", false, "use MIP solver partitioning (15% gap)")
-		dump   = flag.Bool("dump", false, "dump the virtual-unit dataflow graph")
-		dot    = flag.Bool("dot", false, "emit the dataflow graph in Graphviz DOT format")
+		name    = flag.String("workload", "mlp", "benchmark to compile: "+strings.Join(workloads.Names(), ", "))
+		par     = flag.Int("par", 16, "total parallelization factor")
+		scale   = flag.Int("scale", 1, "problem-size divisor (1 = paper scale)")
+		chip    = flag.String("chip", "20x20", "target chip: 20x20 (HBM2) or v1 (DDR3)")
+		solver  = flag.Bool("solver", false, "use MIP solver partitioning (15% gap)")
+		workers = flag.Int("solver-workers", 0, "parallel branch-and-bound workers (0 = one per CPU, 1 = serial oracle; any setting is deterministic)")
+		dump    = flag.Bool("dump", false, "dump the virtual-unit dataflow graph")
+		dot     = flag.Bool("dot", false, "emit the dataflow graph in Graphviz DOT format")
 	)
 	flag.Parse()
 
@@ -52,6 +54,8 @@ func main() {
 		cfg.Partition.Gap = 0.15
 		cfg.Merge.Algo = partition.AlgoSolver
 		cfg.Merge.Gap = 0.15
+		cfg.Partition.Workers = *workers
+		cfg.Merge.Workers = *workers
 	}
 
 	prog := w.Build(workloads.Params{Par: *par, Scale: *scale})
@@ -70,6 +74,9 @@ func main() {
 	fmt.Printf("passes    msr=%d rtelm=%d retime=%d xbar-elm=%d banks=%d merges=%d splits=%d\n",
 		c.OptStats.MSRConverted, c.OptStats.RouteThroughs, c.OptStats.RetimeVUs,
 		c.OptStats.XbarEliminated, c.BankStats.BanksCreated, c.BankStats.MergeVUs, c.PartStats.SplitVUs)
+	if n := c.MIPNodes(); n > 0 {
+		fmt.Printf("solver    %d branch-and-bound nodes explored\n", n)
+	}
 	var phases []string
 	for p := range c.PhaseTimes {
 		phases = append(phases, p)

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	sarasim -workload bs -par 64 [-engine cycle|analytic] [-chip 20x20|v1] [-scale 1] [-json]
+//	sarasim -workload bs -par 64 [-engine auto|cycle|dense|analytic] [-chip 20x20|v1] [-scale 1] [-json]
 package main
 
 import (
@@ -26,7 +26,7 @@ func main() {
 		par    = flag.Int("par", 16, "total parallelization factor")
 		scale  = flag.Int("scale", 16, "problem-size divisor (cycle engine wants >= 16)")
 		chip   = flag.String("chip", "20x20", "target chip: 20x20 (HBM2) or v1 (DDR3)")
-		engine = flag.String("engine", "cycle", "execution engine: cycle (event-driven), dense (reference), or analytic")
+		engine = flag.String("engine", "auto", "execution engine: auto (pick per design), cycle (event-driven), dense (reference), or analytic")
 		top    = flag.Bool("top", false, "show the busiest units")
 		asJSON = flag.Bool("json", false, "emit the result as JSON (the sarad wire encoding)")
 	)
@@ -50,8 +50,10 @@ func main() {
 
 	var r *sim.Result
 	switch *engine {
-	case "cycle":
-		r, err = sim.Cycle(c.Design(), 0)
+	case "auto":
+		r, err = sim.CycleEngine(c.Design(), 0, sim.EngineAuto)
+	case "cycle", "event":
+		r, err = sim.CycleEngine(c.Design(), 0, sim.EngineEvent)
 	case "dense":
 		r, err = sim.CycleEngine(c.Design(), 0, sim.EngineDense)
 	case "analytic":

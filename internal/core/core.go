@@ -185,3 +185,17 @@ func (c *Compiled) CompileTime() time.Duration {
 	}
 	return t
 }
+
+// MIPNodes totals the branch-and-bound nodes explored across the compile:
+// the solver-based compute-partitioning splits plus the solver-packed merge
+// groups. Zero when traversal algorithms ran.
+func (c *Compiled) MIPNodes() int {
+	n := 0
+	if c.PartStats != nil {
+		n += c.PartStats.MIPNodes
+	}
+	if c.Merged != nil {
+		n += c.Merged.MIPNodes
+	}
+	return n
+}

@@ -1,0 +1,140 @@
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"sara/internal/core"
+	"sara/internal/partition"
+	"sara/internal/workloads"
+)
+
+// CompileBenchCase is one workload configuration timed by the compile
+// benchmark (cmd/sarabench → BENCH_compile.json).
+type CompileBenchCase struct {
+	Workload   string
+	Par, Scale int
+	// Solver selects MIP-based partitioning and merging. Solver cases run
+	// twice — the pre-optimization baseline (serial branch-and-bound,
+	// cold-start LP relaxations) against the optimized path (warm-started,
+	// speculatively parallel) — and report the speedup. Traversal cases run
+	// the current path once, for per-stage timing coverage.
+	Solver bool
+	// MaxNodes bounds every solver invocation. Both legs explore trees of
+	// the same bounded size with a generous time limit, so wall-clock
+	// differences reflect per-node LP cost, not truncated searches.
+	MaxNodes int
+}
+
+// CompileStat is one leg's timing: best-of-reps total, with the per-stage
+// split and solver node count of the best rep.
+type CompileStat struct {
+	TotalMS  float64            `json:"total_ms"`
+	PhaseMS  map[string]float64 `json:"phase_ms"`
+	MIPNodes int                `json:"mip_nodes"`
+	PUs      int                `json:"pus"`
+}
+
+// CompileBenchRow is one case's result.
+type CompileBenchRow struct {
+	Workload string `json:"workload"`
+	Par      int    `json:"par"`
+	Scale    int    `json:"scale"`
+	Solver   bool   `json:"solver"`
+	// Baseline is only present for solver cases.
+	Baseline  *CompileStat `json:"baseline,omitempty"`
+	Optimized CompileStat  `json:"optimized"`
+	// Speedup is baseline wall-clock over optimized wall-clock (>1 means
+	// the warm-started parallel path is faster); zero for traversal cases.
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
+// compileBenchConfig builds the compiler configuration for one leg.
+func compileBenchConfig(cs CompileBenchCase, baseline bool) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.SkipPlace = true
+	if !cs.Solver {
+		return cfg
+	}
+	maxNodes := cs.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = 250
+	}
+	cfg.Partition.Algo = partition.AlgoSolver
+	cfg.Merge.Algo = partition.AlgoSolver
+	cfg.Partition.Gap = 0.15
+	cfg.Merge.Gap = 0.15
+	cfg.Partition.MaxNodes = maxNodes
+	cfg.Merge.MaxNodes = maxNodes
+	cfg.Partition.TimeLimit = 10 * time.Minute
+	cfg.Merge.TimeLimit = 10 * time.Minute
+	if baseline {
+		cfg.Partition.Workers = 1
+		cfg.Merge.Workers = 1
+		cfg.Partition.ColdLP = true
+		cfg.Merge.ColdLP = true
+	}
+	return cfg
+}
+
+// timeCompile compiles the workload reps times and keeps the fastest run.
+func timeCompile(w *workloads.Workload, cs CompileBenchCase, baseline bool, reps int) (CompileStat, error) {
+	var best time.Duration
+	var stat CompileStat
+	for r := 0; r < reps; r++ {
+		prog := w.Build(workloads.Params{Par: cs.Par, Scale: cs.Scale})
+		cfg := compileBenchConfig(cs, baseline)
+		t0 := time.Now()
+		c, err := core.Compile(prog, cfg)
+		el := time.Since(t0)
+		if err != nil {
+			return CompileStat{}, err
+		}
+		if best != 0 && el >= best {
+			continue
+		}
+		best = el
+		phases := make(map[string]float64, len(c.PhaseTimes))
+		for name, d := range c.PhaseTimes {
+			phases[name] = float64(d.Nanoseconds()) / 1e6
+		}
+		stat = CompileStat{
+			TotalMS:  float64(el.Nanoseconds()) / 1e6,
+			PhaseMS:  phases,
+			MIPNodes: c.MIPNodes(),
+			PUs:      c.Resources().Total,
+		}
+	}
+	return stat, nil
+}
+
+// CompileBench times every case, running solver cases in both legs.
+func CompileBench(cases []CompileBenchCase, reps int) ([]CompileBenchRow, error) {
+	if reps <= 0 {
+		reps = 1
+	}
+	var out []CompileBenchRow
+	for _, cs := range cases {
+		w, err := workloads.ByName(cs.Workload)
+		if err != nil {
+			return nil, err
+		}
+		row := CompileBenchRow{Workload: cs.Workload, Par: cs.Par, Scale: cs.Scale, Solver: cs.Solver}
+		row.Optimized, err = timeCompile(w, cs, false, reps)
+		if err != nil {
+			return nil, fmt.Errorf("compile %s (optimized): %w", cs.Workload, err)
+		}
+		if cs.Solver {
+			base, err := timeCompile(w, cs, true, reps)
+			if err != nil {
+				return nil, fmt.Errorf("compile %s (baseline): %w", cs.Workload, err)
+			}
+			row.Baseline = &base
+			if row.Optimized.TotalMS > 0 {
+				row.Speedup = base.TotalMS / row.Optimized.TotalMS
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}

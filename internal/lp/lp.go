@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Rel is a constraint relation.
@@ -119,6 +120,15 @@ func (p *Problem) AddConstraint(idx []int, coef []float64, rel Rel, rhs float64)
 	p.rows = append(p.rows, constraint{idx: idx, coef: coef, rel: rel, rhs: rhs})
 }
 
+// Basis records the basic column of each constraint row in an optimal
+// tableau: values below NumVars are structural variables, larger values name
+// the slack/surplus column of a constraint row (slack columns are numbered
+// NumVars.. in row order over the non-equality rows). A basis is only
+// meaningful for the problem that produced it or one with the same rows up
+// to right-hand sides — exactly the shape branch-and-bound produces, where a
+// child node tightens bounds but never changes the matrix (package mip).
+type Basis []int
+
 // Solution is a solve result.
 type Solution struct {
 	Status Status
@@ -126,6 +136,10 @@ type Solution struct {
 	X []float64
 	// Obj is the objective value c·x.
 	Obj float64
+	// Basis is the optimal basis when one free of artificial variables was
+	// reached (nil otherwise). It can seed SolveFrom on a problem with the
+	// same rows and looser/tighter right-hand sides.
+	Basis Basis
 }
 
 const (
@@ -138,6 +152,7 @@ const (
 // reports Status.
 func (p *Problem) Solve() (*Solution, error) {
 	t := newTableau(p)
+	defer t.release()
 	// Phase 1: minimize the sum of artificial variables.
 	if t.nArt > 0 {
 		if status := t.iterate(); status != Optimal {
@@ -158,7 +173,7 @@ func (p *Problem) Solve() (*Solution, error) {
 	for i, v := range x {
 		obj += p.c[i] * v
 	}
-	return &Solution{Status: Optimal, X: x, Obj: obj}, nil
+	return &Solution{Status: Optimal, X: x, Obj: obj, Basis: t.extractBasis()}, nil
 }
 
 func statusErr(s Status) error {
@@ -181,11 +196,50 @@ type tableau struct {
 	m, n     int // constraints, total columns excluding rhs
 	nStruct  int
 	nArt     int
-	a        [][]float64 // (m+1) x (n+1)
+	a        [][]float64 // (m+1) x (n+1) row views into buf
+	buf      []float64   // flat backing array, recycled through tabPool
 	basis    []int       // basic variable of each row
 	artStart int
 	maxIter  int
 	phase1   bool
+}
+
+// tabPool recycles tableau backing arrays. Branch-and-bound (package mip)
+// solves thousands of same-shaped LPs back to back; reusing one flat
+// allocation per solve keeps the allocator and GC out of the pivot loop.
+var tabPool sync.Pool
+
+// grabMatrix returns a rows×cols dense matrix as row views over a single
+// zeroed backing slice drawn from tabPool.
+func grabMatrix(rows, cols int) ([][]float64, []float64) {
+	need := rows * cols
+	var buf []float64
+	if v := tabPool.Get(); v != nil {
+		buf = *(v.(*[]float64))
+	}
+	if cap(buf) < need {
+		buf = make([]float64, need)
+	} else {
+		buf = buf[:need]
+		for i := range buf {
+			buf[i] = 0
+		}
+	}
+	a := make([][]float64, rows)
+	for i := range a {
+		a[i] = buf[i*cols : (i+1)*cols : (i+1)*cols]
+	}
+	return a, buf
+}
+
+// release returns the backing array to the pool. The tableau must not be
+// used afterwards; any solution data has been copied out by extract.
+func (t *tableau) release() {
+	if t.buf != nil {
+		buf := t.buf
+		t.buf, t.a = nil, nil
+		tabPool.Put(&buf)
+	}
 }
 
 func newTableau(p *Problem) *tableau {
@@ -221,10 +275,7 @@ func newTableau(p *Problem) *tableau {
 		maxIter:  20000 + 50*(m+n),
 		phase1:   nArt > 0,
 	}
-	t.a = make([][]float64, m+1)
-	for i := range t.a {
-		t.a[i] = make([]float64, n+1)
-	}
+	t.a, t.buf = grabMatrix(m+1, n+1)
 	slack, art := p.n, t.artStart
 	for i, r := range p.rows {
 		rhs := r.rhs
@@ -354,22 +405,23 @@ func (t *tableau) ratioTest(col int, bland bool) int {
 }
 
 func (t *tableau) pivot(row, col int) {
-	a := t.a
-	piv := a[row][col]
-	inv := 1.0 / piv
-	for j := 0; j <= t.n; j++ {
-		a[row][j] *= inv
+	ar := t.a[row]
+	inv := 1.0 / ar[col]
+	for j := range ar {
+		ar[j] *= inv
 	}
 	for i := 0; i <= t.m; i++ {
 		if i == row {
 			continue
 		}
-		f := a[i][col]
+		ri := t.a[i]
+		f := ri[col]
 		if f == 0 {
 			continue
 		}
-		for j := 0; j <= t.n; j++ {
-			a[i][j] -= f * a[row][j]
+		ri = ri[:len(ar)] // single bounds check for the fused update below
+		for j := range ri {
+			ri[j] -= f * ar[j]
 		}
 	}
 	t.basis[row] = col
@@ -419,6 +471,21 @@ func (t *tableau) toPhase2(p *Problem) {
 			obj[j] -= f * t.a[i][j]
 		}
 	}
+}
+
+// extractBasis captures the final basis in the layout Basis documents, or
+// nil when an artificial variable is still basic (the basis then has no
+// meaning for a re-solve without phase 1).
+func (t *tableau) extractBasis() Basis {
+	b := make(Basis, t.m)
+	for i := 0; i < t.m; i++ {
+		c := t.basis[i]
+		if c >= t.artStart {
+			return nil
+		}
+		b[i] = c
+	}
+	return b
 }
 
 // extract reads the structural solution out of the basis.

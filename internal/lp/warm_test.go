@@ -1,0 +1,179 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// buildKnapsackLP returns a small LP with a mix of row types whose optimum
+// is easy to perturb through the rhs.
+func buildKnapsackLP(cap float64) *Problem {
+	p := NewProblem(3)
+	p.SetObj(0, -5)
+	p.SetObj(1, -4)
+	p.SetObj(2, -3)
+	p.AddConstraint([]int{0, 1, 2}, []float64{2, 3, 1}, LE, cap)
+	p.AddConstraint([]int{0, 1}, []float64{4, 1}, LE, 10)
+	p.AddConstraint([]int{0, 2}, []float64{3, 4}, LE, 8)
+	return p
+}
+
+func TestSolveExportsBasis(t *testing.T) {
+	p := buildKnapsackLP(5)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	if sol.Basis == nil {
+		t.Fatal("expected an artificial-free basis on an all-LE program")
+	}
+	if len(sol.Basis) != p.NumRows() {
+		t.Fatalf("basis length %d, want %d rows", len(sol.Basis), p.NumRows())
+	}
+}
+
+func TestSolveFromMatchesColdAfterRHSChange(t *testing.T) {
+	p := buildKnapsackLP(5)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("root solve: %v", err)
+	}
+	for _, cap := range []float64{4, 3, 2, 1, 0.5} {
+		q := buildKnapsackLP(cap)
+		warm, err := q.SolveFrom(sol.Basis)
+		if err != nil {
+			t.Fatalf("warm cap=%v: %v", cap, err)
+		}
+		cold, err := buildKnapsackLP(cap).Solve()
+		if err != nil {
+			t.Fatalf("cold cap=%v: %v", cap, err)
+		}
+		if math.Abs(warm.Obj-cold.Obj) > 1e-7 {
+			t.Fatalf("cap=%v: warm obj %v != cold obj %v", cap, warm.Obj, cold.Obj)
+		}
+		if warm.Basis == nil {
+			t.Fatalf("cap=%v: warm solve lost the basis", cap)
+		}
+	}
+}
+
+func TestSolveFromDetectsInfeasible(t *testing.T) {
+	// x0 + x1 ≤ rhs with x0 ≥ 3 expressed as -x0 ≤ -3 turns infeasible when
+	// rhs < 3.
+	build := func(rhs float64) *Problem {
+		p := NewProblem(2)
+		p.SetObj(0, 1)
+		p.SetObj(1, 1)
+		p.AddConstraint([]int{0, 1}, []float64{1, 1}, LE, rhs)
+		p.AddConstraint([]int{0}, []float64{-1}, LE, -3)
+		return p
+	}
+	sol, err := build(10).Solve()
+	if err != nil {
+		t.Fatalf("root: %v", err)
+	}
+	if _, err := build(1).SolveFrom(sol.Basis); err != ErrInfeasible {
+		t.Fatalf("want ErrInfeasible, got %v", err)
+	}
+}
+
+func TestSolveFromGarbageBasisFallsBack(t *testing.T) {
+	p := buildKnapsackLP(5)
+	cold, err := buildKnapsackLP(5).Solve()
+	if err != nil {
+		t.Fatalf("cold: %v", err)
+	}
+	for _, basis := range []Basis{
+		nil,
+		{0},               // wrong length
+		{0, 0, 0},         // repeated column: singular
+		{-1, 1, 2},        // out of range
+		{0, 1, 1_000_000}, // out of range
+		{5, 4, 3},         // all slacks: valid (the initial basis)
+	} {
+		sol, err := p.SolveFrom(basis)
+		if err != nil {
+			t.Fatalf("basis %v: %v", basis, err)
+		}
+		if math.Abs(sol.Obj-cold.Obj) > 1e-7 {
+			t.Fatalf("basis %v: obj %v != cold %v", basis, sol.Obj, cold.Obj)
+		}
+	}
+}
+
+// TestSolveFromRandomRHSPerturbations solves random bounded LPs cold, then
+// re-solves rhs-perturbed copies warm from the parent basis and checks the
+// objective against a cold solve of the same perturbed program — the exact
+// usage pattern of branch-and-bound child nodes.
+func TestSolveFromRandomRHSPerturbations(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + rng.Intn(5)
+		m := 2 + rng.Intn(4)
+		objs := make([]float64, n)
+		type row struct {
+			idx  []int
+			coef []float64
+			rhs  float64
+		}
+		rows := make([]row, 0, m+n)
+		build := func(deltas []float64) *Problem {
+			p := NewProblem(n)
+			for i, v := range objs {
+				p.SetObj(i, v)
+			}
+			for r, rw := range rows {
+				d := 0.0
+				if deltas != nil {
+					d = deltas[r]
+				}
+				p.AddConstraint(rw.idx, rw.coef, LE, rw.rhs+d)
+			}
+			return p
+		}
+		for i := range objs {
+			objs[i] = -rng.Float64() * 3 // maximize-ish: bounded by the box below
+		}
+		for r := 0; r < m; r++ {
+			var idx []int
+			var coef []float64
+			for i := 0; i < n; i++ {
+				if rng.Float64() < 0.6 {
+					idx = append(idx, i)
+					coef = append(coef, rng.Float64()*2)
+				}
+			}
+			if len(idx) == 0 {
+				idx, coef = []int{0}, []float64{1}
+			}
+			rows = append(rows, row{idx, coef, 1 + rng.Float64()*5})
+		}
+		for i := 0; i < n; i++ { // box: x_i ≤ u_i keeps everything bounded
+			rows = append(rows, row{[]int{i}, []float64{1}, 1 + rng.Float64()*2})
+		}
+		root, err := build(nil).Solve()
+		if err != nil {
+			t.Fatalf("trial %d root: %v", trial, err)
+		}
+		for rep := 0; rep < 4; rep++ {
+			deltas := make([]float64, len(rows))
+			for r := range deltas {
+				if rng.Float64() < 0.4 {
+					deltas[r] = -rng.Float64() * 0.5 // tighten, like a branch
+				}
+			}
+			warm, werr := build(deltas).SolveFrom(root.Basis)
+			cold, cerr := build(deltas).Solve()
+			if (werr == nil) != (cerr == nil) {
+				t.Fatalf("trial %d rep %d: warm err %v, cold err %v", trial, rep, werr, cerr)
+			}
+			if cerr != nil {
+				continue
+			}
+			if math.Abs(warm.Obj-cold.Obj) > 1e-6 {
+				t.Fatalf("trial %d rep %d: warm obj %v != cold obj %v", trial, rep, warm.Obj, cold.Obj)
+			}
+		}
+	}
+}

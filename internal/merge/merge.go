@@ -37,6 +37,10 @@ type Options struct {
 	Gap       float64
 	MaxNodes  int
 	TimeLimit time.Duration
+	// Workers and ColdLP forward to the MIP solver (see
+	// partition.SolverOptions).
+	Workers int
+	ColdLP  bool
 	// DisableMerging turns the pass into the identity assignment (one PU per
 	// VU), the baseline for the merge-effectiveness ablation (Fig 10).
 	DisableMerging bool
@@ -55,6 +59,9 @@ type Result struct {
 	// MergedIntoPMU counts request/response units absorbed into their VMU's
 	// memory unit.
 	MergedIntoPMU int
+	// MIPNodes totals branch-and-bound nodes the solver explored across all
+	// packed groups (zero for traversal packing).
+	MIPNodes int
 }
 
 // Counts returns the number of slots per PU type.
@@ -168,9 +175,11 @@ func Merge(g *dfg.Graph, spec *arch.Spec, opts Options) (*Result, error) {
 	}
 	sort.Strings(keys)
 	for _, k := range keys {
-		if err := packGroup(g, spec, opts, groups[k], addPU); err != nil {
+		nodes, err := packGroup(g, spec, opts, groups[k], addPU)
+		if err != nil {
 			return nil, err
 		}
+		res.MIPNodes += nodes
 	}
 	repairCycles(g, res)
 	return res, nil
@@ -178,8 +187,9 @@ func Merge(g *dfg.Graph, spec *arch.Spec, opts Options) (*Result, error) {
 
 // packGroup packs one signature group into PCU slots via the partition
 // machinery, using non-LCD edges among group members and counting all edges
-// to non-members as external arity.
-func packGroup(g *dfg.Graph, spec *arch.Spec, opts Options, group []*dfg.VU, addPU func(arch.PUType, ...dfg.VUID) int) error {
+// to non-members as external arity. It returns the branch-and-bound node
+// count when the solver ran.
+func packGroup(g *dfg.Graph, spec *arch.Spec, opts Options, group []*dfg.VU, addPU func(arch.PUType, ...dfg.VUID) int) (int, error) {
 	idx := map[dfg.VUID]int{}
 	for i, u := range group {
 		idx[u.ID] = i
@@ -229,10 +239,13 @@ func packGroup(g *dfg.Graph, spec *arch.Spec, opts Options, group []*dfg.VU, add
 	// Members connected by a dataflow path through external units must not
 	// contract into one PU (that would close a cycle through the external
 	// path) and must keep their order. Record such pairs as conflicts plus
-	// ordering-only edges (they carry no stream, so no arity cost).
+	// ordering-only edges (they carry no stream, so no arity cost). The
+	// reach index walks the external slot graph once for the whole group
+	// instead of one DFS per member.
+	reach := newReachIndex(g, idx)
 	orderSet := map[[2]int]bool{}
 	for i, u := range group {
-		for j := range externalReach(g, u.ID, idx) {
+		for j := range reach.from(u.ID) {
 			in.Conflicts = append(in.Conflicts, [2]int{i, j})
 			if !edgeSet[[2]int{i, j}] {
 				orderSet[[2]int{i, j}] = true
@@ -268,7 +281,10 @@ func packGroup(g *dfg.Graph, spec *arch.Spec, opts Options, group []*dfg.VU, add
 	var err error
 	switch opts.Algo {
 	case partition.AlgoSolver:
-		res, err = partition.Solver(in, partition.SolverOptions{Gap: opts.Gap, MaxNodes: opts.MaxNodes, TimeLimit: opts.TimeLimit})
+		res, err = partition.Solver(in, partition.SolverOptions{
+			Gap: opts.Gap, MaxNodes: opts.MaxNodes, TimeLimit: opts.TimeLimit,
+			Workers: opts.Workers, ColdLP: opts.ColdLP,
+		})
 	case partition.AlgoBFSForward:
 		res, err = partition.Traversal(in, partition.BFSForward)
 	case partition.AlgoBFSBackward:
@@ -281,7 +297,7 @@ func packGroup(g *dfg.Graph, spec *arch.Spec, opts Options, group []*dfg.VU, add
 		res, err = partition.BestTraversal(in)
 	}
 	if err != nil {
-		return fmt.Errorf("merge: packing group of %d: %w", len(group), err)
+		return 0, fmt.Errorf("merge: packing group of %d: %w", len(group), err)
 	}
 	slots := map[int][]dfg.VUID{}
 	for i, p := range res.Assign {
@@ -290,7 +306,7 @@ func packGroup(g *dfg.Graph, spec *arch.Spec, opts Options, group []*dfg.VU, add
 	for p := 0; p < res.NumParts; p++ {
 		addPU(arch.PCU, slots[p]...)
 	}
-	return nil
+	return res.MIPNodes, nil
 }
 
 // signature keys units that may share a PCU: same counter chain (controller
@@ -344,65 +360,132 @@ func puType(u *dfg.VU) arch.PUType {
 	}
 }
 
-// externalReach returns the instance indices of group members reachable from
-// start through paths whose intermediate units are all outside the group,
-// following non-LCD edges with VMU-port awareness (entering a memory on one
-// access port only continues out of the same port).
-func externalReach(g *dfg.Graph, start dfg.VUID, idx map[dfg.VUID]int) map[int]bool {
-	type slot struct {
-		vu   dfg.VUID
-		port string
+// extSlot is a traversal position outside the group: a unit, refined by
+// access port for memories (entering a VMU on one access port only
+// continues out of the same port).
+type extSlot struct {
+	vu   dfg.VUID
+	port string
+}
+
+// reachIndex memoizes, for one signature group, which members each external
+// slot can reach through external-only paths over non-LCD edges. The old
+// code re-ran a full DFS per member — O(members × external graph); the index
+// walks the external slot graph once and answers every member query by a
+// union over its out-neighbour slots.
+type reachIndex struct {
+	g     *dfg.Graph
+	idx   map[dfg.VUID]int
+	reach map[extSlot]map[int]bool
+}
+
+func (r *reachIndex) slotOf(vu dfg.VUID, e *dfg.Edge) extSlot {
+	if u := r.g.VU(vu); u != nil && u.Kind == dfg.VMU {
+		return extSlot{vu, e.Port}
 	}
-	slotOf := func(vu dfg.VUID, e *dfg.Edge) slot {
-		if u := g.VU(vu); u != nil && u.Kind == dfg.VMU {
-			return slot{vu, e.Port}
+	return extSlot{vu, ""}
+}
+
+func newReachIndex(g *dfg.Graph, idx map[dfg.VUID]int) *reachIndex {
+	r := &reachIndex{g: g, idx: idx, reach: map[extSlot]map[int]bool{}}
+	type adjacency struct {
+		members []int     // member indices hit directly from this slot
+		succs   []extSlot // external successor slots
+	}
+	adjOf := map[extSlot]*adjacency{}
+	var stack []extSlot
+	push := func(s extSlot) {
+		if _, ok := adjOf[s]; !ok {
+			adjOf[s] = nil // reserve: expanded below
+			stack = append(stack, s)
 		}
-		return slot{vu, ""}
 	}
-	found := map[int]bool{}
-	seen := map[slot]bool{}
-	var stack []slot
-	expand := func(from slot) {
-		for _, eid := range g.Out(from.vu) {
+	// Seed with every external slot any member feeds.
+	for vu := range idx {
+		for _, eid := range g.Out(vu) {
 			e := g.Edge(eid)
-			if e.LCD || slotOf(e.Src, e) != from {
+			if e.LCD {
 				continue
 			}
-			if j, ok := idx[e.Dst]; ok {
-				if e.Dst != start {
-					found[j] = true
-				}
-				continue // do not traverse through members
+			if _, ok := idx[e.Dst]; ok {
+				continue
 			}
-			s := slotOf(e.Dst, e)
-			if !seen[s] {
-				seen[s] = true
-				stack = append(stack, s)
-			}
-		}
-	}
-	// Seed from the start unit itself (its own slot covers all out-edges).
-	for _, eid := range g.Out(start) {
-		e := g.Edge(eid)
-		if e.LCD {
-			continue
-		}
-		if j, ok := idx[e.Dst]; ok {
-			_ = j // direct member edges are already instance edges, not conflicts
-			continue
-		}
-		s := slotOf(e.Dst, e)
-		if !seen[s] {
-			seen[s] = true
-			stack = append(stack, s)
+			push(r.slotOf(e.Dst, e))
 		}
 	}
 	for len(stack) > 0 {
 		s := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		expand(s)
+		a := &adjacency{}
+		for _, eid := range g.Out(s.vu) {
+			e := g.Edge(eid)
+			if e.LCD || r.slotOf(e.Src, e) != s {
+				continue
+			}
+			if j, ok := idx[e.Dst]; ok {
+				a.members = append(a.members, j) // hit, but do not traverse through
+				continue
+			}
+			t := r.slotOf(e.Dst, e)
+			a.succs = append(a.succs, t)
+			push(t)
+		}
+		adjOf[s] = a
+	}
+	// Propagate member sets to a fixpoint. The sets only grow, so iteration
+	// order does not affect the (unique) result; external cycles converge.
+	for s, a := range adjOf {
+		set := make(map[int]bool, len(a.members))
+		for _, j := range a.members {
+			set[j] = true
+		}
+		r.reach[s] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for s, a := range adjOf {
+			set := r.reach[s]
+			for _, t := range a.succs {
+				for j := range r.reach[t] {
+					if !set[j] {
+						set[j] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return r
+}
+
+// from returns the member indices reachable from start through external-only
+// paths, excluding start itself.
+func (r *reachIndex) from(start dfg.VUID) map[int]bool {
+	self, isMember := r.idx[start]
+	found := map[int]bool{}
+	for _, eid := range r.g.Out(start) {
+		e := r.g.Edge(eid)
+		if e.LCD {
+			continue
+		}
+		if _, ok := r.idx[e.Dst]; ok {
+			continue // direct member edges are instance edges, not conflicts
+		}
+		for j := range r.reach[r.slotOf(e.Dst, e)] {
+			if !isMember || j != self {
+				found[j] = true
+			}
+		}
 	}
 	return found
+}
+
+// externalReach returns the instance indices of group members reachable from
+// start through paths whose intermediate units are all outside the group.
+// It builds a one-off reach index; packGroup shares one index across the
+// whole group instead.
+func externalReach(g *dfg.Graph, start dfg.VUID, idx map[dfg.VUID]int) map[int]bool {
+	return newReachIndex(g, idx).from(start)
 }
 
 // repairCycles splits merged PUs until the PU-level quotient graph (over

@@ -128,6 +128,16 @@ type Options struct {
 	// traversal-based partitioning solution in the paper). Ignored when
 	// infeasible for the problem.
 	WarmStart []float64
+	// Workers selects the speculative LP worker count for the parallel tree
+	// search: 0 = auto (GOMAXPROCS, capped at 8), 1 or negative = the serial
+	// oracle, n > 1 = exactly n workers. Results are bit-identical across
+	// all settings — the main loop runs the serial algorithm either way and
+	// workers only pre-compute deterministic LP relaxations.
+	Workers int
+	// ColdLP disables warm-started relaxations: every node re-runs two-phase
+	// simplex from an empty tableau. This is the pre-warm-start baseline,
+	// kept selectable for benchmarking (cmd/sarabench).
+	ColdLP bool
 }
 
 // Solution is a solve result.
@@ -141,6 +151,9 @@ type Solution struct {
 	Gap float64
 	// Nodes is the number of branch-and-bound nodes explored.
 	Nodes int
+	// WarmStarted counts explored nodes whose LP relaxation was seeded from
+	// the parent's optimal basis (lp.SolveFrom) rather than solved cold.
+	WarmStarted int
 }
 
 // ErrInfeasible is returned when no integer-feasible point exists.
@@ -149,15 +162,33 @@ var ErrInfeasible = errors.New("mip: infeasible")
 const intTol = 1e-6
 
 type node struct {
+	// id is assigned in creation order and is the deterministic tie-break
+	// for equal bounds: lowest ID wins, so the pop order — and with it the
+	// whole search — is identical run to run and across worker counts.
+	id    int64
 	bound float64
 	lo    map[int]float64
 	hi    map[int]float64
+	// loOrder lists the variables of lo in the order their lower-bound rows
+	// were introduced along the branching path (shared read-only with the
+	// parent unless this node added one). Lower-bound rows are emitted in
+	// this order so a child's LP is the parent's LP plus at most one
+	// trailing row — the shape lp.SolveFrom can warm-start across.
+	loOrder []int
+	// basis is the parent relaxation's optimal basis (shared, read-only);
+	// nil at the root and below unrecoverable parents.
+	basis lp.Basis
 }
 
 type nodeHeap []*node
 
-func (h nodeHeap) Len() int            { return len(h) }
-func (h nodeHeap) Less(i, j int) bool  { return h[i].bound < h[j].bound }
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].bound != h[j].bound {
+		return h[i].bound < h[j].bound
+	}
+	return h[i].id < h[j].id
+}
 func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*node)) }
 func (h *nodeHeap) Pop() interface{} {
@@ -168,7 +199,12 @@ func (h *nodeHeap) Pop() interface{} {
 	return x
 }
 
-// Solve runs best-first branch and bound.
+// Solve runs best-first branch and bound. The node heap is ordered by
+// (LP bound, node ID) — a total order — so the search is deterministic, and
+// every LP relaxation is a pure function of its node; the parallel mode
+// (Options.Workers) exploits that by speculatively pre-solving frontier
+// relaxations on a worker pool while this loop stays the sole decision
+// maker, making serial and parallel results bit-identical.
 func (p *Problem) Solve(opts Options) (*Solution, error) {
 	if opts.MaxNodes <= 0 {
 		opts.MaxNodes = 1_000_000
@@ -185,14 +221,25 @@ func (p *Problem) Solve(opts Options) (*Solution, error) {
 		bestX = append([]float64(nil), opts.WarmStart...)
 	}
 
-	h := &nodeHeap{{bound: math.Inf(-1), lo: map[int]float64{}, hi: map[int]float64{}}}
+	rx := newRelaxation(p, opts.ColdLP)
+	var spec *speculator
+	if w := workerCount(opts.Workers); w > 1 {
+		spec = newSpeculator(rx, w)
+		defer spec.stop()
+		spec.noteIncumbent(best)
+	}
+
+	h := &nodeHeap{{id: 0, bound: math.Inf(-1), lo: map[int]float64{}, hi: map[int]float64{}}}
 	heap.Init(h)
-	nodes := 0
+	nextID := int64(1)
+	nodes, warmed := 0, 0
 	rootBound := math.Inf(-1)
 	haveRoot := false
+	limited := false
 
 	for h.Len() > 0 {
 		if nodes >= opts.MaxNodes || (!deadline.IsZero() && time.Now().After(deadline)) {
+			limited = true
 			break
 		}
 		nd := heap.Pop(h).(*node)
@@ -203,14 +250,26 @@ func (p *Problem) Solve(opts Options) (*Solution, error) {
 			globalBound = math.Inf(-1)
 		}
 		if bestX != nil && gapOK(best, globalBound, opts.Gap) {
-			return p.finish(Optimal, bestX, best, globalBound, nodes), nil
+			return p.finish(Optimal, bestX, best, globalBound, nodes, warmed), nil
 		}
 		if nd.bound >= best-1e-9 {
+			if spec != nil {
+				spec.discard(nd)
+			}
 			continue // cannot improve
 		}
 		nodes++
+		if nd.basis != nil {
+			warmed++
+		}
 
-		sol, err := p.solveRelaxation(nd)
+		var sol *lp.Solution
+		var err error
+		if spec != nil {
+			sol, err = spec.get(nd)
+		} else {
+			sol, err = rx.solveNode(nd)
+		}
 		if err != nil {
 			continue // infeasible subproblem
 		}
@@ -227,16 +286,37 @@ func (p *Problem) Solve(opts Options) (*Solution, error) {
 			if sol.Obj < best {
 				best = sol.Obj
 				bestX = roundInts(sol.X, p.integer)
+				if spec != nil {
+					spec.noteIncumbent(best)
+				}
 			}
 			continue
 		}
 		v := sol.X[branchVar]
-		down := &node{bound: sol.Obj, lo: copyMap(nd.lo), hi: copyMap(nd.hi)}
+		childBasis := sol.Basis
+		if !rx.warm {
+			// Cold relaxations ignore the basis; don't hand it down (it would
+			// also miscount WarmStarted).
+			childBasis = nil
+		}
+		down := &node{id: nextID, bound: sol.Obj, lo: copyMap(nd.lo), hi: copyMap(nd.hi), loOrder: nd.loOrder, basis: childBasis}
 		down.hi[branchVar] = math.Floor(v)
-		up := &node{bound: sol.Obj, lo: copyMap(nd.lo), hi: copyMap(nd.hi)}
+		up := &node{id: nextID + 1, bound: sol.Obj, lo: copyMap(nd.lo), hi: copyMap(nd.hi), loOrder: nd.loOrder, basis: childBasis}
 		up.lo[branchVar] = math.Ceil(v)
+		if _, had := nd.lo[branchVar]; !had {
+			// First lower bound on this variable: its row is appended after
+			// the parent's rows. Copy-on-append — the slice backing is shared
+			// with the sibling and the parent.
+			up.loOrder = append(append([]int(nil), nd.loOrder...), branchVar)
+		}
+		nextID += 2
 		heap.Push(h, down)
 		heap.Push(h, up)
+		if spec != nil {
+			spec.offer(down)
+			spec.offer(up)
+			spec.offerTop(h)
+		}
 	}
 
 	bound := rootBound
@@ -247,23 +327,26 @@ func (p *Problem) Solve(opts Options) (*Solution, error) {
 	}
 	if bestX == nil {
 		if h.Len() == 0 && nodes > 0 {
-			return p.finish(Infeasible, nil, math.Inf(1), bound, nodes), ErrInfeasible
+			return p.finish(Infeasible, nil, math.Inf(1), bound, nodes, warmed), ErrInfeasible
 		}
-		return p.finish(Limit, nil, math.Inf(1), bound, nodes), errors.New("mip: limit reached without incumbent")
+		return p.finish(Limit, nil, math.Inf(1), bound, nodes, warmed), errors.New("mip: limit reached without incumbent")
 	}
-	status := Feasible
-	if h.Len() == 0 || gapOK(best, bound, opts.Gap) {
-		status = Optimal
+	// A limit-stopped search returns the incumbent as Feasible (best-effort)
+	// unless the remaining open-node bound already proves it within the
+	// requested gap; an exhausted heap is a full proof of optimality.
+	status := Optimal
+	if limited && !gapOK(best, bound, opts.Gap) {
+		status = Feasible
 	}
-	return p.finish(status, bestX, best, bound, nodes), nil
+	return p.finish(status, bestX, best, bound, nodes, warmed), nil
 }
 
-func (p *Problem) finish(st Status, x []float64, obj, bound float64, nodes int) *Solution {
+func (p *Problem) finish(st Status, x []float64, obj, bound float64, nodes, warmed int) *Solution {
 	g := 0.0
 	if x != nil {
 		g = relGap(obj, bound)
 	}
-	return &Solution{Status: st, X: x, Obj: obj, Bound: bound, Gap: g, Nodes: nodes}
+	return &Solution{Status: st, X: x, Obj: obj, Bound: bound, Gap: g, Nodes: nodes, WarmStarted: warmed}
 }
 
 func gapOK(incumbent, bound, gap float64) bool {
@@ -282,8 +365,62 @@ func relGap(incumbent, bound float64) float64 {
 	return d / den
 }
 
-// solveRelaxation builds and solves the LP relaxation with the node's bounds.
-func (p *Problem) solveRelaxation(nd *node) (*lp.Solution, error) {
+// relaxation builds LP relaxations with a stable row layout so a parent's
+// optimal basis transfers to its children. The shape at a node is
+//
+//	[original rows | x_i ≤ hi_i for every finite upper | -x_i ≤ -lo_i in
+//	the order the branching path introduced them (node.loOrder)]
+//
+// A child therefore differs from its parent by a tightened right-hand side
+// (down branch, or a repeated up branch) or by one appended trailing row
+// (first up branch on a variable) — never by inserted, dropped, or
+// reordered rows. Both deltas preserve the parent basis: the matrix and
+// objective are unchanged over the parent's columns, so the basis stays
+// dual feasible, and lp.SolveFrom extends it across the appended row with
+// that row's slack. Crucially, lower-bound rows exist only where branching
+// created them — emitting one for every integer variable up front would
+// flood the tableau with degenerate zero-rhs rows and stall the dual
+// simplex in zero-progress pivots.
+type relaxation struct {
+	p      *Problem
+	warm   bool    // basis handoff enabled (stable row layout)
+	ubVars []int   // variables with a finite upper bound, ascending
+	oneIdx [][]int // oneIdx[i] == []int{i}, shared read-only across nodes
+}
+
+var (
+	coefPos = []float64{1}
+	coefNeg = []float64{-1}
+)
+
+func newRelaxation(p *Problem, cold bool) *relaxation {
+	rx := &relaxation{p: p, warm: !cold}
+	for i := 0; i < p.n; i++ {
+		if p.integer[i] && math.IsInf(p.upper[i], 1) {
+			// An unbounded integer variable would grow its bound rows lazily,
+			// changing the row layout mid-tree; fall back to cold solves.
+			rx.warm = false
+		}
+	}
+	if !rx.warm {
+		return rx
+	}
+	rx.oneIdx = make([][]int, p.n)
+	for i := range rx.oneIdx {
+		rx.oneIdx[i] = []int{i}
+	}
+	for i := 0; i < p.n; i++ {
+		if !math.IsInf(p.upper[i], 1) {
+			rx.ubVars = append(rx.ubVars, i)
+		}
+	}
+	return rx
+}
+
+// solveNode solves the LP relaxation at nd. It is a pure function of the
+// node and safe for concurrent use: all shared state is read-only.
+func (rx *relaxation) solveNode(nd *node) (*lp.Solution, error) {
+	p := rx.p
 	q := lp.NewProblem(p.n)
 	for i, v := range p.obj {
 		if v != 0 {
@@ -293,17 +430,35 @@ func (p *Problem) solveRelaxation(nd *node) (*lp.Solution, error) {
 	for r := range p.rowIdx {
 		q.AddConstraint(p.rowIdx[r], p.rowCoef[r], p.rowRel[r], p.rowRHS[r])
 	}
-	for i := 0; i < p.n; i++ {
+	if !rx.warm {
+		// Cold shape: bound rows appear only where they bind, exactly as the
+		// pre-warm-start solver built them.
+		for i := 0; i < p.n; i++ {
+			hi := p.upper[i]
+			if v, ok := nd.hi[i]; ok && v < hi {
+				hi = v
+			}
+			if !math.IsInf(hi, 1) {
+				q.AddConstraint([]int{i}, []float64{1}, lp.LE, hi)
+			}
+			if v, ok := nd.lo[i]; ok && v > 0 {
+				q.AddConstraint([]int{i}, []float64{1}, lp.GE, v)
+			}
+		}
+		return q.Solve()
+	}
+	for _, i := range rx.ubVars {
 		hi := p.upper[i]
 		if v, ok := nd.hi[i]; ok && v < hi {
 			hi = v
 		}
-		if !math.IsInf(hi, 1) {
-			q.AddConstraint([]int{i}, []float64{1}, lp.LE, hi)
-		}
-		if v, ok := nd.lo[i]; ok && v > 0 {
-			q.AddConstraint([]int{i}, []float64{1}, lp.GE, v)
-		}
+		q.AddConstraint(rx.oneIdx[i], coefPos, lp.LE, hi)
+	}
+	for _, i := range nd.loOrder {
+		q.AddConstraint(rx.oneIdx[i], coefNeg, lp.LE, -nd.lo[i])
+	}
+	if nd.basis != nil {
+		return q.SolveFrom(nd.basis)
 	}
 	return q.Solve()
 }

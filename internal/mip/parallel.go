@@ -1,0 +1,162 @@
+// Parallel tree search via speculative LP relaxations.
+//
+// The branch-and-bound main loop stays the single decision maker — it pops,
+// prunes, branches, and counts exactly as the serial solver does, following
+// the (bound, node ID) total order. What parallel mode adds is a bounded
+// worker pool that pre-solves the LP relaxations of frontier nodes the main
+// loop is likely to pop next. Because every relaxation is a pure,
+// deterministic function of its node, it does not matter who computes it or
+// when: the search trajectory, the incumbent, and the final solution are
+// bit-identical to the serial run for any worker count or GOMAXPROCS. A
+// shared atomic incumbent bound lets workers skip nodes the main loop is
+// guaranteed to prune, keeping speculation waste low.
+package mip
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"sara/internal/lp"
+)
+
+// workerCount resolves Options.Workers: 1 or negative selects the serial
+// oracle, 0 is auto (GOMAXPROCS capped at 8), larger values are taken as-is.
+func workerCount(w int) int {
+	if w < 0 {
+		return 1
+	}
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+		if w > 8 {
+			w = 8
+		}
+	}
+	return w
+}
+
+type specResult struct {
+	done chan struct{}
+	sol  *lp.Solution
+	err  error
+}
+
+type speculator struct {
+	rx    *relaxation
+	queue chan *node
+	wg    sync.WaitGroup
+	// best holds math.Float64bits of the incumbent objective; written by the
+	// main loop, read by workers to skip doomed speculation.
+	best atomic.Uint64
+
+	mu       sync.Mutex
+	inflight map[int64]*specResult
+	// dead marks node IDs the main loop has consumed or pruned; stale queue
+	// entries for them are dropped instead of re-solved.
+	dead map[int64]bool
+}
+
+func newSpeculator(rx *relaxation, workers int) *speculator {
+	s := &speculator{
+		rx:       rx,
+		queue:    make(chan *node, 4*workers),
+		inflight: make(map[int64]*specResult),
+		dead:     make(map[int64]bool),
+	}
+	s.best.Store(math.Float64bits(math.Inf(1)))
+	s.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// stop drains the pool. Workers finish their current solve and exit.
+func (s *speculator) stop() {
+	close(s.queue)
+	s.wg.Wait()
+}
+
+// noteIncumbent publishes a new incumbent objective to the workers.
+func (s *speculator) noteIncumbent(best float64) {
+	s.best.Store(math.Float64bits(best))
+}
+
+// offer queues a node for speculative solving, dropping it when the queue is
+// full — speculation is best-effort, the main loop solves misses inline.
+func (s *speculator) offer(nd *node) {
+	select {
+	case s.queue <- nd:
+	default:
+	}
+}
+
+// offerTop re-offers the leading heap entries. The heap array's prefix
+// approximates the next pops, so this keeps workers pointed at the nodes the
+// main loop will actually ask for.
+func (s *speculator) offerTop(h *nodeHeap) {
+	k := cap(s.queue) / 2
+	for i := 0; i < len(*h) && i < k; i++ {
+		s.offer((*h)[i])
+	}
+}
+
+func (s *speculator) worker() {
+	defer s.wg.Done()
+	for nd := range s.queue {
+		s.mu.Lock()
+		if s.dead[nd.id] {
+			s.mu.Unlock()
+			continue
+		}
+		if _, claimed := s.inflight[nd.id]; claimed {
+			s.mu.Unlock()
+			continue
+		}
+		if nd.bound >= math.Float64frombits(s.best.Load())-1e-9 {
+			// The main loop will prune this node without asking for its
+			// relaxation. Leave it unclaimed: if the incumbent estimate was
+			// stale the main loop simply solves it inline.
+			s.mu.Unlock()
+			continue
+		}
+		res := &specResult{done: make(chan struct{})}
+		s.inflight[nd.id] = res
+		s.mu.Unlock()
+		res.sol, res.err = s.rx.solveNode(nd)
+		close(res.done)
+	}
+}
+
+// get returns nd's relaxation: it waits for an in-flight speculative solve
+// or claims and solves inline on a miss. Called only by the main loop, at
+// most once per node.
+func (s *speculator) get(nd *node) (*lp.Solution, error) {
+	s.mu.Lock()
+	res, hit := s.inflight[nd.id]
+	if !hit {
+		res = &specResult{done: make(chan struct{})}
+		s.inflight[nd.id] = res
+		s.mu.Unlock()
+		res.sol, res.err = s.rx.solveNode(nd)
+		close(res.done)
+	} else {
+		s.mu.Unlock()
+		<-res.done
+	}
+	s.mu.Lock()
+	delete(s.inflight, nd.id)
+	s.dead[nd.id] = true
+	s.mu.Unlock()
+	return res.sol, res.err
+}
+
+// discard tombstones a node the main loop pruned so stale queue entries are
+// not solved and a finished speculative result can be collected.
+func (s *speculator) discard(nd *node) {
+	s.mu.Lock()
+	delete(s.inflight, nd.id)
+	s.dead[nd.id] = true
+	s.mu.Unlock()
+}

@@ -50,6 +50,10 @@ type ApplyOptions struct {
 	Gap       float64
 	MaxNodes  int
 	TimeLimit time.Duration
+	// Workers and ColdLP forward to the MIP solver (see
+	// SolverOptions.Workers / SolverOptions.ColdLP).
+	Workers int
+	ColdLP  bool
 	// MaxOps, MaxIn, MaxOut describe the PCU; zero values take the usual
 	// Plasticine limits (6 stages, 4 in, 4 out).
 	MaxOps, MaxIn, MaxOut int
@@ -76,6 +80,9 @@ type ApplyStats struct {
 	RetimeVUs int // retiming slack recorded, in delay levels (buffers are
 	// inserted by the retime optimization)
 	Algo string
+	// MIPNodes totals branch-and-bound nodes explored across all solver
+	// invocations of the pass (zero for traversal algorithms).
+	MIPNodes int
 }
 
 // Apply subdivides every compute-class unit whose op cost exceeds the PCU
@@ -110,6 +117,7 @@ func splitVU(g *dfg.Graph, u *dfg.VU, maxOps, maxIn, maxOut int, opts ApplyOptio
 	if err != nil {
 		return err
 	}
+	stats.MIPNodes += res.MIPNodes
 
 	// Create sub-units, one per partition, ordered by quotient delay.
 	delays, err := in.partitionDelays(res.Assign, res.NumParts)
@@ -263,7 +271,10 @@ func runAlgo(in *Instance, opts ApplyOptions) (*Result, error) {
 	case AlgoDFSBackward:
 		return Traversal(in, DFSBackward)
 	case AlgoSolver:
-		return Solver(in, SolverOptions{Gap: opts.Gap, MaxNodes: opts.MaxNodes, TimeLimit: opts.TimeLimit})
+		return Solver(in, SolverOptions{
+			Gap: opts.Gap, MaxNodes: opts.MaxNodes, TimeLimit: opts.TimeLimit,
+			Workers: opts.Workers, ColdLP: opts.ColdLP,
+		})
 	default:
 		return BestTraversal(in)
 	}

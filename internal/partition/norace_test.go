@@ -1,0 +1,6 @@
+//go:build !race
+
+package partition_test
+
+// raceEnabled reports that the race detector is active; see race_test.go.
+const raceEnabled = false

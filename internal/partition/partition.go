@@ -139,6 +139,10 @@ type Result struct {
 	Cost float64
 	// Algo names the algorithm that produced the result.
 	Algo string
+	// MIPNodes is the number of branch-and-bound nodes the solver explored
+	// to produce (or reject in favour of the warm start) this result; zero
+	// for pure traversal results.
+	MIPNodes int
 }
 
 // evaluate computes NumParts/RetimeUnits/Cost for an assignment and verifies

@@ -1,0 +1,9 @@
+//go:build race
+
+package partition_test
+
+// raceEnabled reports that the race detector is active. The equivalence
+// suites shrink under it: the detector needs the concurrent machinery
+// exercised, not a full-scale search, and the instrumented solver runs
+// several times slower than native.
+const raceEnabled = true

@@ -22,6 +22,11 @@ type SolverOptions struct {
 	// runs take hours to days on full graphs — this models the practical
 	// decomposition). Zero selects 28.
 	MaxN int
+	// Workers forwards to mip.Options.Workers: 0 = auto, 1 = serial oracle,
+	// n > 1 = n speculative LP workers. Results are identical either way.
+	Workers int
+	// ColdLP disables warm-started LP relaxations (benchmark baseline).
+	ColdLP bool
 }
 
 // Solver partitions the instance with the Table III mixed-integer program:
@@ -241,6 +246,8 @@ func Solver(in *Instance, opts SolverOptions) (*Result, error) {
 		MaxNodes:  opts.MaxNodes,
 		TimeLimit: opts.TimeLimit,
 		WarmStart: ws,
+		Workers:   opts.Workers,
+		ColdLP:    opts.ColdLP,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("partition: solver: %w", err)
@@ -266,8 +273,10 @@ func Solver(in *Instance, opts SolverOptions) (*Result, error) {
 	if res.Cost > warm.Cost {
 		// The warm start is feasible; never return something worse.
 		warm.Algo = "solver-mip(warm)"
+		warm.MIPNodes = sol.Nodes
 		return warm, nil
 	}
+	res.MIPNodes = sol.Nodes
 	return res, nil
 }
 

@@ -136,8 +136,11 @@ type RunRequest struct {
 	Arch *arch.SpecJSON `json:"arch,omitempty"`
 	// Options toggles compiler passes.
 	Options *CompileOptionsJSON `json:"options,omitempty"`
-	// Engine is "cycle" (default, event-driven), "dense" (the reference
-	// cycle-level engine), or "analytic"; ignored by /v1/compile.
+	// Engine is "auto" (default: dense for small token-free graphs, event
+	// otherwise — see sim.ChooseEngine), "cycle"/"event" (the event-driven
+	// engine), "dense" (the reference cycle-level engine), or "analytic";
+	// ignored by /v1/compile. The response's result.engine reports which
+	// cycle engine actually ran.
 	Engine string `json:"engine,omitempty"`
 	// TimeoutMS bounds this request, capped at the server default.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
@@ -150,6 +153,10 @@ type CompileOptionsJSON struct {
 	// Solver uses MIP partitioning/merging with SolverGap (default 0.15).
 	Solver    bool    `json:"solver,omitempty"`
 	SolverGap float64 `json:"solver_gap,omitempty"`
+	// SolverWorkers sizes the branch-and-bound speculation pool (0 = auto,
+	// 1 = the serial oracle). The solver is deterministic at any setting,
+	// so this changes compile time, never the compiled design.
+	SolverWorkers int `json:"solver_workers,omitempty"`
 	// SkipPlace skips placement; streams are charged the arch's default hop
 	// distance.
 	SkipPlace bool `json:"skip_place,omitempty"`
@@ -178,6 +185,8 @@ func (o *CompileOptionsJSON) config(spec *arch.Spec) core.Config {
 		cfg.Partition.Gap = gap
 		cfg.Merge.Algo = partition.AlgoSolver
 		cfg.Merge.Gap = gap
+		cfg.Partition.Workers = o.SolverWorkers
+		cfg.Merge.Workers = o.SolverWorkers
 	}
 	if o.SkipPlace {
 		cfg.SkipPlace = true
@@ -220,10 +229,16 @@ type RunResponse struct {
 	SimMS     float64 `json:"sim_ms,omitempty"`
 	// SimCyclesPerSec is the simulated-cycle throughput of this request's
 	// engine — the service-level view of simulator performance.
-	SimCyclesPerSec float64            `json:"sim_cycles_per_sec,omitempty"`
-	PhaseMS         map[string]float64 `json:"phase_ms,omitempty"`
-	Resources       ResourcesJSON      `json:"resources"`
-	Result          *sim.ResultJSON    `json:"result,omitempty"`
+	SimCyclesPerSec float64 `json:"sim_cycles_per_sec,omitempty"`
+	// PhaseMS is the per-stage compile-time split of the cached compile
+	// (measured when the design was first compiled, so a cache hit repeats
+	// the original numbers).
+	PhaseMS map[string]float64 `json:"phase_ms,omitempty"`
+	// MIPNodesExplored counts branch-and-bound nodes across the compile's
+	// solver invocations; zero under traversal partitioning/merging.
+	MIPNodesExplored int             `json:"mip_nodes_explored,omitempty"`
+	Resources        ResourcesJSON   `json:"resources"`
+	Result           *sim.ResultJSON `json:"result,omitempty"`
 }
 
 type errorJSON struct {
@@ -286,9 +301,14 @@ func (s *Server) normalize(req *RunRequest) error {
 		}
 	}
 	switch req.Engine {
-	case "", "cycle", "dense", "analytic":
+	case "":
+		req.Engine = "auto"
+	case "event":
+		// Alias: the event-driven engine's canonical wire name is "cycle".
+		req.Engine = "cycle"
+	case "auto", "cycle", "dense", "analytic":
 	default:
-		return fmt.Errorf("unknown engine %q (want cycle, dense, or analytic)", req.Engine)
+		return fmt.Errorf("unknown engine %q (want auto, cycle, event, dense, or analytic)", req.Engine)
 	}
 	return nil
 }
@@ -455,6 +475,10 @@ func (s *Server) execute(ctx context.Context, req *RunRequest, spec *arch.Spec, 
 			return nil, err
 		}
 		s.metrics.Observe("sarad_compile_seconds", c.CompileTime().Seconds())
+		for phase, d := range c.PhaseTimes {
+			s.metrics.Observe("sarad_compile_phase_seconds_"+phase, d.Seconds())
+		}
+		s.metrics.Add("sarad_mip_nodes_explored_total", int64(c.MIPNodes()))
 		return c, nil
 	})
 	if err != nil {
@@ -475,11 +499,12 @@ func (s *Server) execute(ctx context.Context, req *RunRequest, spec *arch.Spec, 
 		CompileMS: float64(compileWall.Microseconds()) / 1e3,
 		Resources: resourcesJSON(compiled.Resources()),
 	}
+	resp.PhaseMS = map[string]float64{}
+	for phase, d := range compiled.PhaseTimes {
+		resp.PhaseMS[phase] = float64(d.Microseconds()) / 1e3
+	}
+	resp.MIPNodesExplored = compiled.MIPNodes()
 	if !simulate {
-		resp.PhaseMS = map[string]float64{}
-		for phase, d := range compiled.PhaseTimes {
-			resp.PhaseMS[phase] = float64(d.Microseconds()) / 1e3
-		}
 		return resp, http.StatusOK, nil
 	}
 
@@ -490,9 +515,11 @@ func (s *Server) execute(ctx context.Context, req *RunRequest, spec *arch.Spec, 
 	var result *sim.Result
 	engine := req.Engine
 	if engine == "" {
-		engine = "cycle"
+		engine = "auto"
 	}
 	switch engine {
+	case "auto":
+		result, err = sim.CycleEngine(compiled.Design(), 0, sim.EngineAuto)
 	case "cycle":
 		result, err = sim.CycleEngine(compiled.Design(), 0, sim.EngineEvent)
 	case "dense":

@@ -65,8 +65,10 @@ func TestRunInlineProgramEndToEnd(t *testing.T) {
 	if rr.Result == nil || rr.Result.Cycles <= 0 {
 		t.Fatalf("missing simulation result: %s", body)
 	}
-	if rr.Result.Engine != "cycle" {
-		t.Errorf("engine = %q, want default cycle", rr.Result.Engine)
+	// The default engine is auto; the result reports whichever cycle-level
+	// engine the heuristic resolved to.
+	if rr.Result.Engine != "cycle" && rr.Result.Engine != "dense" {
+		t.Errorf("engine = %q, want a cycle-level engine under the auto default", rr.Result.Engine)
 	}
 	if rr.CacheHit {
 		t.Error("first request should be a cache miss")
@@ -76,6 +78,29 @@ func TestRunInlineProgramEndToEnd(t *testing.T) {
 	}
 	if len(rr.CacheKey) != 64 {
 		t.Errorf("cache key %q is not a sha-256 hex digest", rr.CacheKey)
+	}
+}
+
+// TestRunSurfacesCompileBreakdown checks /v1/run reports the per-stage
+// compile-time split and the solver node count (zero under traversal
+// partitioning) alongside the simulation result.
+func TestRunSurfacesCompileBreakdown(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+	resp, body := postRun(t, ts, "/v1/run", RunRequest{Workload: "bs", Par: 4, Scale: 64})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	rr := decodeRun(t, body)
+	if len(rr.PhaseMS) == 0 {
+		t.Error("phase_ms missing from /v1/run response")
+	}
+	for _, phase := range []string{"partition", "merge"} {
+		if _, ok := rr.PhaseMS[phase]; !ok {
+			t.Errorf("phase_ms missing %q: %v", phase, rr.PhaseMS)
+		}
+	}
+	if rr.MIPNodesExplored != 0 {
+		t.Errorf("mip_nodes_explored = %d under traversal partitioning, want 0", rr.MIPNodesExplored)
 	}
 }
 
@@ -409,7 +434,7 @@ func TestRunWorkloadDenseEngine(t *testing.T) {
 	if dense.SimCyclesPerSec <= 0 {
 		t.Errorf("sim_cycles_per_sec = %v, want > 0", dense.SimCyclesPerSec)
 	}
-	resp, body = postRun(t, ts, "/v1/run", RunRequest{Workload: "bs", Par: 4, Scale: 64})
+	resp, body = postRun(t, ts, "/v1/run", RunRequest{Workload: "bs", Par: 4, Scale: 64, Engine: "event"})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status = %d: %s", resp.StatusCode, body)
 	}

@@ -1,0 +1,87 @@
+package sim_test
+
+import (
+	"testing"
+
+	"sara/internal/core"
+	"sara/internal/dfg"
+	"sara/internal/sim"
+	"sara/internal/workloads"
+)
+
+// designShape counts the inputs of the auto-selection heuristic.
+func designShape(d *sim.Design) (units, tokens int) {
+	units = len(d.G.LiveVUs())
+	for _, e := range d.G.LiveEdges() {
+		if e.Kind == dfg.EToken {
+			tokens++
+		}
+	}
+	return units, tokens
+}
+
+// TestChooseEngineHeuristic checks the documented rule — dense for small
+// token-free graphs, event otherwise — against every registered workload,
+// and requires the split to be non-vacuous (both engines get picked by at
+// least one design, so the heuristic actually discriminates).
+func TestChooseEngineHeuristic(t *testing.T) {
+	var sawDense, sawEvent bool
+	for _, w := range workloads.All() {
+		prog := w.Build(workloads.Params{Par: 4, Scale: 64})
+		cfg := core.DefaultConfig()
+		cfg.SkipPlace = true
+		c, err := core.Compile(prog, cfg)
+		if err != nil {
+			t.Fatalf("%s: Compile: %v", w.Name, err)
+		}
+		d := c.Design()
+		units, tokens := designShape(d)
+		got := sim.ChooseEngine(d)
+		want := sim.EngineEvent
+		if units <= 32 && tokens == 0 {
+			want = sim.EngineDense
+		}
+		if got != want {
+			t.Errorf("%s: ChooseEngine = %v with %d units / %d token streams, want %v",
+				w.Name, got, units, tokens, want)
+		}
+		if got == sim.EngineDense {
+			sawDense = true
+		} else {
+			sawEvent = true
+		}
+	}
+	if !sawDense || !sawEvent {
+		t.Errorf("heuristic is vacuous over the workload suite: dense=%v event=%v", sawDense, sawEvent)
+	}
+}
+
+// TestAutoMatchesExplicitEngines pins auto selection to the oracle: whatever
+// engine auto picks, the report must be bit-identical to both explicit
+// engines (which are themselves equivalence-tested against each other).
+func TestAutoMatchesExplicitEngines(t *testing.T) {
+	w, err := workloads.ByName("bs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := w.Build(workloads.Params{Par: 16, Scale: 32})
+	cfg := core.DefaultConfig()
+	cfg.SkipPlace = true
+	c, err := core.Compile(prog, cfg)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	d := c.Design()
+	auto, err := sim.CycleEngine(d, 0, sim.EngineAuto)
+	if err != nil {
+		t.Fatalf("auto engine: %v", err)
+	}
+	dense, err := sim.CycleEngine(d, 0, sim.EngineDense)
+	if err != nil {
+		t.Fatalf("dense engine: %v", err)
+	}
+	if auto.Cycles != dense.Cycles || auto.FiredTotal != dense.FiredTotal {
+		t.Errorf("auto (Cycles %d, Fired %d) != dense (Cycles %d, Fired %d)",
+			auto.Cycles, auto.FiredTotal, dense.Cycles, dense.FiredTotal)
+	}
+}

@@ -24,16 +24,50 @@ const (
 	// for deliveries and steps all units. Linear in cycles; kept as the
 	// reference oracle the event engine is validated against.
 	EngineDense
+	// EngineAuto picks per design: the dense scan for small busy graphs
+	// (where per-cycle scanning is near-free and the event heap is pure
+	// overhead), the event engine everywhere else. See ChooseEngine.
+	EngineAuto
 )
 
-// Cycle runs the cycle-level engine. maxCycles guards against runaways
-// (0 = 200M cycles).
+// autoDenseMaxUnits is the unit-count ceiling below which the dense scan is
+// considered for auto selection: scanning a handful of units per cycle costs
+// less than the event engine's heap and wake-list bookkeeping.
+const autoDenseMaxUnits = 32
+
+// ChooseEngine resolves EngineAuto with a units×activity heuristic. Dense
+// per-cycle cost scales with unit/edge count; event cost scales with
+// activity. The static activity proxy is CMMC token streams: they gate
+// firing on credits and produce long idle stretches the event engine skips
+// entirely (BENCH_sim.json: rf with 216k token-wait stalls runs 4x faster
+// under event, while the small token-free bs graph is ~2x faster under the
+// dense scan). A small graph with no token streams is busy nearly every
+// cycle, so dense wins there; everything else goes to the event engine.
+func ChooseEngine(d *Design) EngineKind {
+	units := len(d.G.LiveVUs())
+	tokens := 0
+	for _, e := range d.G.LiveEdges() {
+		if e.Kind == dfg.EToken {
+			tokens++
+		}
+	}
+	if units <= autoDenseMaxUnits && tokens == 0 {
+		return EngineDense
+	}
+	return EngineEvent
+}
+
+// Cycle runs the cycle-level engine with auto selection. maxCycles guards
+// against runaways (0 = 200M cycles).
 func Cycle(d *Design, maxCycles int64) (*Result, error) {
-	return CycleEngine(d, maxCycles, EngineEvent)
+	return CycleEngine(d, maxCycles, EngineAuto)
 }
 
 // CycleEngine runs the cycle-level simulation on the selected engine.
 func CycleEngine(d *Design, maxCycles int64, kind EngineKind) (*Result, error) {
+	if kind == EngineAuto {
+		kind = ChooseEngine(d)
+	}
 	cs, err := newCycleSim(d)
 	if err != nil {
 		return nil, err
