@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench benchsmoke serve
+.PHONY: ci fmt vet build test race bench benchsmoke profilesmoke serve
 
-ci: fmt vet build race benchsmoke
+ci: fmt vet build race benchsmoke profilesmoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -36,6 +36,12 @@ benchsmoke:
 	$(GO) test -run '^$$' -bench BenchmarkCycleEngine -benchtime 1x .
 	$(GO) run ./cmd/sarabench -mode compile -smoke -compile-reps 1 \
 		-compile-o $${TMPDIR:-/tmp}/BENCH_compile_smoke.json
+
+# End-to-end profiler smoke: one profiled run producing both artifacts —
+# the stall-attribution report and a Chrome trace-event export.
+profilesmoke:
+	$(GO) run ./cmd/sarasim -workload mlp -par 4 -scale 16 \
+		-profile $${TMPDIR:-/tmp}/sara_profile_smoke.json -profile-report >/dev/null
 
 # Run the compile-and-simulate daemon locally.
 serve:

@@ -217,6 +217,47 @@ func BenchmarkCycleEngine(b *testing.B) {
 	}
 }
 
+// BenchmarkProfileOverhead is the profiler's zero-cost-when-off guard: the
+// "off" leg runs the plain engine (whose only profiling cost is a nil check
+// on the recording pointer per firing) and must match the committed
+// BenchmarkCycleEngine numbers; the "on" leg bounds what attaching the
+// recorder costs when it is wanted. rf is the stall-heavy case, so it
+// stresses the stall-interval path, not just busy recording.
+func BenchmarkProfileOverhead(b *testing.B) {
+	w, err := workloads.ByName("rf")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.SkipPlace = true
+	c, err := core.Compile(w.Build(workloads.Params{Par: 64, Scale: 256}), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("off", func(b *testing.B) {
+		var cycles int64
+		for i := 0; i < b.N; i++ {
+			r, err := sim.CycleEngine(c.Design(), 0, sim.EngineEvent)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cycles = r.Cycles
+		}
+		b.ReportMetric(float64(cycles)/(b.Elapsed().Seconds()/float64(b.N)), "simcycles/s")
+	})
+	b.Run("on", func(b *testing.B) {
+		var cycles int64
+		for i := 0; i < b.N; i++ {
+			r, _, err := sim.CycleProfiled(c.Design(), 0, sim.EngineEvent)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cycles = r.Cycles
+		}
+		b.ReportMetric(float64(cycles)/(b.Elapsed().Seconds()/float64(b.N)), "simcycles/s")
+	})
+}
+
 // BenchmarkAnalyticEngine measures the steady-state model (it is what the
 // paper-scale sweeps run, so its speed bounds the harness).
 func BenchmarkAnalyticEngine(b *testing.B) {

@@ -28,6 +28,7 @@ import (
 	"sara/internal/arch"
 	"sara/internal/core"
 	"sara/internal/eval"
+	"sara/internal/profile"
 	"sara/internal/sim"
 	"sara/internal/workloads"
 )
@@ -65,6 +66,12 @@ type Row struct {
 	// Speedup is dense wall-clock over event wall-clock (>1 means the
 	// event engine is faster).
 	Speedup float64 `json:"event_speedup_over_dense"`
+	// Bottleneck summarizes one profiled run of the same design: the unit
+	// losing the most cycles to stalls and its dominant cause. Profiling runs
+	// outside the timed region, so the committed timings stay unperturbed.
+	Bottleneck       string `json:"bottleneck,omitempty"`
+	BottleneckCause  string `json:"bottleneck_cause,omitempty"`
+	BottleneckStalls int64  `json:"bottleneck_stall_cycles,omitempty"`
 }
 
 // Report is the BENCH_sim.json document.
@@ -192,10 +199,24 @@ func runSim(reps int, out string) error {
 			Event:   ev, Dense: de,
 			Speedup: float64(de.NsPerOp) / float64(ev.NsPerOp),
 		}
+		// One untimed profiled run attributes where the cycles went.
+		if _, rec, err := sim.CycleProfiled(d, 0, sim.EngineEvent); err == nil {
+			if top := profile.Analyze(rec).TopStalled(1); len(top) > 0 {
+				cause, _ := top[0].DominantStall()
+				row.Bottleneck = top[0].Name
+				row.BottleneckCause = cause.String()
+				row.BottleneckStalls = top[0].StallTotal()
+			}
+		}
 		rep.Rows = append(rep.Rows, row)
-		fmt.Printf("%-6s par=%-4d scale=%-4d event %8.3fms  dense %8.3fms  speedup %.2fx\n",
+		fmt.Printf("%-6s par=%-4d scale=%-4d event %8.3fms  dense %8.3fms  speedup %.2fx",
 			bc.workload, bc.par, bc.scale,
 			float64(ev.NsPerOp)/1e6, float64(de.NsPerOp)/1e6, row.Speedup)
+		if row.Bottleneck != "" {
+			fmt.Printf("  bottleneck %s (%s, %d stall cycles)",
+				row.Bottleneck, row.BottleneckCause, row.BottleneckStalls)
+		}
+		fmt.Println()
 	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")

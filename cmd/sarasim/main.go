@@ -5,6 +5,7 @@
 // Usage:
 //
 //	sarasim -workload bs -par 64 [-engine auto|cycle|dense|analytic] [-chip 20x20|v1] [-scale 1] [-json]
+//	        [-profile trace.json] [-profile-report]
 package main
 
 import (
@@ -16,19 +17,22 @@ import (
 
 	"sara/internal/arch"
 	"sara/internal/core"
+	"sara/internal/profile"
 	"sara/internal/sim"
 	"sara/internal/workloads"
 )
 
 func main() {
 	var (
-		name   = flag.String("workload", "bs", "benchmark to run: "+strings.Join(workloads.Names(), ", "))
-		par    = flag.Int("par", 16, "total parallelization factor")
-		scale  = flag.Int("scale", 16, "problem-size divisor (cycle engine wants >= 16)")
-		chip   = flag.String("chip", "20x20", "target chip: 20x20 (HBM2) or v1 (DDR3)")
-		engine = flag.String("engine", "auto", "execution engine: auto (pick per design), cycle (event-driven), dense (reference), or analytic")
-		top    = flag.Bool("top", false, "show the busiest units")
-		asJSON = flag.Bool("json", false, "emit the result as JSON (the sarad wire encoding)")
+		name    = flag.String("workload", "bs", "benchmark to run: "+strings.Join(workloads.Names(), ", "))
+		par     = flag.Int("par", 16, "total parallelization factor")
+		scale   = flag.Int("scale", 16, "problem-size divisor (cycle engine wants >= 16)")
+		chip    = flag.String("chip", "20x20", "target chip: 20x20 (HBM2) or v1 (DDR3)")
+		engine  = flag.String("engine", "auto", "execution engine: auto (pick per design), cycle (event-driven), dense (reference), or analytic")
+		top     = flag.Bool("top", false, "show the busiest units")
+		asJSON  = flag.Bool("json", false, "emit the result as JSON (the sarad wire encoding)")
+		profOut = flag.String("profile", "", "record a timeline profile and write it as Chrome trace-event JSON to this path (load in Perfetto / chrome://tracing; cycle engines only)")
+		profRep = flag.Bool("profile-report", false, "print the profile's stall-attribution and critical-path report (implies profiling)")
 	)
 	flag.Parse()
 
@@ -48,23 +52,64 @@ func main() {
 		os.Exit(1)
 	}
 
-	var r *sim.Result
+	profiling := *profOut != "" || *profRep
+	var kind sim.EngineKind
 	switch *engine {
 	case "auto":
-		r, err = sim.CycleEngine(c.Design(), 0, sim.EngineAuto)
+		kind = sim.EngineAuto
 	case "cycle", "event":
-		r, err = sim.CycleEngine(c.Design(), 0, sim.EngineEvent)
+		kind = sim.EngineEvent
 	case "dense":
-		r, err = sim.CycleEngine(c.Design(), 0, sim.EngineDense)
+		kind = sim.EngineDense
 	case "analytic":
-		r, err = sim.Analytic(c.Design())
+		if profiling {
+			fmt.Fprintln(os.Stderr, "profiling needs a cycle-level engine; the analytic model has no timeline")
+			os.Exit(1)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown engine %q\n", *engine)
 		os.Exit(1)
 	}
+
+	var r *sim.Result
+	var rec *profile.Recording
+	switch {
+	case *engine == "analytic":
+		r, err = sim.Analytic(c.Design())
+	case profiling:
+		r, rec, err = sim.CycleProfiled(c.Design(), 0, kind)
+	default:
+		r, err = sim.CycleEngine(c.Design(), 0, kind)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simulate:", err)
 		os.Exit(1)
+	}
+
+	if *profOut != "" {
+		f, err := os.Create(*profOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "profile:", err)
+			os.Exit(1)
+		}
+		if err := profile.WriteChromeTrace(f, rec); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "profile:", err)
+			os.Exit(1)
+		}
+	}
+	if *profRep {
+		// The report goes to stderr under -json so stdout stays a single
+		// machine-readable document.
+		out := os.Stdout
+		if *asJSON {
+			out = os.Stderr
+		}
+		fmt.Fprint(out, profile.Analyze(rec).Render())
 	}
 
 	if *asJSON {

@@ -26,6 +26,14 @@ type Model struct {
 	totalBytes  int64
 	totalReqs   int64
 	stallCycles int64
+
+	// OnService, when set, observes every channel service interval: the
+	// channel was occupied by one request's transfer over [start, end)
+	// accelerator cycles (unloaded latency excluded — it overlaps other
+	// services and does not occupy the channel). The profiler uses it to
+	// build per-channel occupancy timelines; per-channel intervals arrive
+	// with non-decreasing start.
+	OnService func(ch int, start, end int64)
 }
 
 type channel struct {
@@ -86,6 +94,9 @@ func (m *Model) request(ch int, bytes int, now int64, coalesced bool) int64 {
 	c.bytes += int64(b)
 	m.totalBytes += int64(b)
 	m.totalReqs++
+	if m.OnService != nil {
+		m.OnService(ch, int64(start), int64(c.busyUntil+0.9999))
+	}
 	done := int64(c.busyUntil+0.9999) + int64(m.Spec.LatencyCycles)
 	if done <= now {
 		done = now + 1

@@ -76,3 +76,44 @@ func TestStreamRate(t *testing.T) {
 		t.Errorf("StreamRate = %v, want %v", got, 62.5/4/2)
 	}
 }
+
+// TestOnServiceObservesOccupancy checks the profiler hook: every request
+// produces one service interval on its channel, intervals on one channel
+// arrive with non-decreasing start, back-to-back requests queue (the second
+// interval starts where the first left off), and the hook excludes the
+// unloaded latency (the interval ends at most a rounding cycle past the
+// occupancy window, well before the request's completion cycle).
+func TestOnServiceObservesOccupancy(t *testing.T) {
+	m := New(arch.SARA20x20().DRAM)
+	type iv struct {
+		ch         int
+		start, end int64
+	}
+	var got []iv
+	m.OnService = func(ch int, start, end int64) {
+		got = append(got, iv{ch, start, end})
+	}
+	d1 := m.Request(0, 6400, 0) // ~103 cycles of channel occupancy
+	m.Request(0, 6400, 0)       // queues behind the first
+	m.Request(1, 64, 0)         // independent channel
+	if len(got) != 3 {
+		t.Fatalf("observed %d service intervals, want 3", len(got))
+	}
+	if got[0].ch != 0 || got[1].ch != 0 || got[2].ch != 1 {
+		t.Fatalf("channel attribution wrong: %+v", got)
+	}
+	for i, v := range got {
+		if v.end <= v.start {
+			t.Errorf("interval %d empty or inverted: [%d,%d)", i, v.start, v.end)
+		}
+	}
+	if got[1].start < got[0].end-1 {
+		t.Errorf("queued request starts at %d, before predecessor's occupancy ends at %d",
+			got[1].start, got[0].end)
+	}
+	lat := int64(m.Spec.LatencyCycles)
+	if got[0].end > d1-lat+1 {
+		t.Errorf("service interval ends at %d; must exclude the %d-cycle unloaded latency (done=%d)",
+			got[0].end, lat, d1)
+	}
+}

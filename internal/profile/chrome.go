@@ -1,0 +1,155 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace-event export: the recording rendered as the JSON object
+// format chrome://tracing and Perfetto load directly. One thread (track) per
+// virtual unit and per DRAM channel, duration events as matched B/E pairs,
+// timestamps in microseconds carrying the cycle number verbatim — so one
+// trace microsecond is one accelerator cycle.
+
+// chromeEvent is one entry of the traceEvents array.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeDoc is the trace-event JSON object form.
+type chromeDoc struct {
+	TraceEvents     []chromeEvent     `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+}
+
+// chromePID groups every track under one process row.
+const chromePID = 1
+
+// WriteChromeTrace writes the recording as Chrome trace-event JSON. Output
+// is deterministic: metadata first, then each track's intervals in time
+// order as B/E pairs.
+func WriteChromeTrace(w io.Writer, rec *Recording) error {
+	doc := chromeDoc{
+		DisplayTimeUnit: "ns",
+		OtherData: map[string]string{
+			"source": "sara cycle simulator",
+			"units":  "1 trace us = 1 accelerator cycle",
+			"cycles": fmt.Sprintf("%d", rec.Cycles),
+		},
+	}
+	doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+		Name: "process_name", Ph: "M", PID: chromePID,
+		Args: map[string]any{"name": "sara"},
+	})
+	live := rec.Live()
+	for _, t := range live {
+		doc.TraceEvents = append(doc.TraceEvents,
+			chromeEvent{
+				Name: "thread_name", Ph: "M", PID: chromePID, TID: t.ID,
+				Args: map[string]any{"name": t.Kind + " " + t.Name},
+			},
+			chromeEvent{
+				Name: "thread_sort_index", Ph: "M", PID: chromePID, TID: t.ID,
+				Args: map[string]any{"sort_index": t.ID},
+			})
+	}
+	for _, t := range live {
+		for _, iv := range t.Intervals {
+			b := chromeEvent{
+				Name: iv.Cause.String(), Cat: t.Kind, Ph: "B",
+				TS: iv.Start, PID: chromePID, TID: t.ID,
+			}
+			if peer := rec.PeerName(iv.Peer); peer != "" {
+				b.Args = map[string]any{"peer": peer}
+			}
+			e := chromeEvent{
+				Name: iv.Cause.String(), Cat: t.Kind, Ph: "E",
+				TS: iv.End, PID: chromePID, TID: t.ID,
+			}
+			doc.TraceEvents = append(doc.TraceEvents, b, e)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(&doc)
+}
+
+// ValidateChromeTrace checks that data parses as Chrome trace-event JSON and
+// satisfies the invariants a viewer depends on: known phase kinds, required
+// fields, per-track non-decreasing timestamps, and strictly matched B/E
+// pairs. It is the schema gate the golden-file test and the CI smoke run
+// share.
+func ValidateChromeTrace(data []byte) error {
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			TS   *int64 `json:"ts"`
+			PID  *int   `json:"pid"`
+			TID  *int   `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("profile: trace is not valid JSON: %w", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("profile: trace has no traceEvents")
+	}
+	type tkey struct{ pid, tid int }
+	lastTS := map[tkey]int64{}
+	open := map[tkey][]string{} // B-event name stack per track
+	for i, e := range doc.TraceEvents {
+		if e.Name == "" {
+			return fmt.Errorf("profile: event %d has no name", i)
+		}
+		switch e.Ph {
+		case "M":
+			continue
+		case "B", "E":
+		default:
+			return fmt.Errorf("profile: event %d (%s) has unsupported phase %q", i, e.Name, e.Ph)
+		}
+		if e.TS == nil || e.PID == nil || e.TID == nil {
+			return fmt.Errorf("profile: event %d (%s) is missing ts/pid/tid", i, e.Name)
+		}
+		if *e.TS < 0 {
+			return fmt.Errorf("profile: event %d (%s) has negative ts %d", i, e.Name, *e.TS)
+		}
+		k := tkey{*e.PID, *e.TID}
+		if prev, ok := lastTS[k]; ok && *e.TS < prev {
+			return fmt.Errorf("profile: event %d (%s) ts %d precedes %d on pid=%d tid=%d",
+				i, e.Name, *e.TS, prev, k.pid, k.tid)
+		}
+		lastTS[k] = *e.TS
+		switch e.Ph {
+		case "B":
+			open[k] = append(open[k], e.Name)
+		case "E":
+			stack := open[k]
+			if len(stack) == 0 {
+				return fmt.Errorf("profile: event %d: E %q on pid=%d tid=%d without matching B",
+					i, e.Name, k.pid, k.tid)
+			}
+			if top := stack[len(stack)-1]; top != e.Name {
+				return fmt.Errorf("profile: event %d: E %q closes B %q on pid=%d tid=%d",
+					i, e.Name, top, k.pid, k.tid)
+			}
+			open[k] = stack[:len(stack)-1]
+		}
+	}
+	for k, stack := range open {
+		if len(stack) > 0 {
+			return fmt.Errorf("profile: %d unclosed B event(s) on pid=%d tid=%d (first %q)",
+				len(stack), k.pid, k.tid, stack[0])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+package profile
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestChromeTraceGolden pins the exported trace byte-for-byte: schema drift
+// (renamed fields, reordered events, changed metadata) fails here before a
+// trace viewer ever sees it. Regenerate with `go test -run Golden -update`.
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, sampleRecording()); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exported trace diverges from golden (regenerate with -update if intended)\ngot:\n%s\nwant:\n%s",
+			buf.Bytes(), want)
+	}
+	if err := ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Errorf("exported trace fails validation: %v", err)
+	}
+}
+
+// TestValidateChromeTrace exercises the validator's rejection paths so the
+// schema gate actually gates.
+func TestValidateChromeTrace(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"not json", `{`},
+		{"no events", `{"traceEvents":[]}`},
+		{"bad phase", `{"traceEvents":[{"name":"x","ph":"Q","ts":0,"pid":1,"tid":1}]}`},
+		{"missing ts", `{"traceEvents":[{"name":"x","ph":"B","pid":1,"tid":1}]}`},
+		{"negative ts", `{"traceEvents":[{"name":"x","ph":"B","ts":-1,"pid":1,"tid":1}]}`},
+		{"unmatched E", `{"traceEvents":[{"name":"x","ph":"E","ts":0,"pid":1,"tid":1}]}`},
+		{"mismatched pair", `{"traceEvents":[
+			{"name":"a","ph":"B","ts":0,"pid":1,"tid":1},
+			{"name":"b","ph":"E","ts":1,"pid":1,"tid":1}]}`},
+		{"unclosed B", `{"traceEvents":[{"name":"a","ph":"B","ts":0,"pid":1,"tid":1}]}`},
+		{"time travel", `{"traceEvents":[
+			{"name":"a","ph":"B","ts":5,"pid":1,"tid":1},
+			{"name":"a","ph":"E","ts":9,"pid":1,"tid":1},
+			{"name":"a","ph":"B","ts":3,"pid":1,"tid":1},
+			{"name":"a","ph":"E","ts":4,"pid":1,"tid":1}]}`},
+	}
+	for _, tc := range cases {
+		if err := ValidateChromeTrace([]byte(tc.data)); err == nil {
+			t.Errorf("%s: validator accepted invalid trace", tc.name)
+		}
+	}
+	ok := `{"traceEvents":[
+		{"name":"thread_name","ph":"M","pid":1,"tid":1,"args":{"name":"u"}},
+		{"name":"busy","ph":"B","ts":0,"pid":1,"tid":1},
+		{"name":"busy","ph":"E","ts":4,"pid":1,"tid":1},
+		{"name":"busy","ph":"B","ts":4,"pid":1,"tid":2},
+		{"name":"busy","ph":"E","ts":6,"pid":1,"tid":2}]}`
+	if err := ValidateChromeTrace([]byte(ok)); err != nil {
+		t.Errorf("validator rejected valid trace: %v", err)
+	}
+}

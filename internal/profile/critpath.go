@@ -1,0 +1,111 @@
+package profile
+
+import "sort"
+
+// PathSeg is one segment of the critical path: track spent [Start, End) in
+// Cause. Consecutive segments run backward-contiguously in time — each
+// segment ends where its successor (in walk order, predecessor in time)
+// begins — so the path partitions the run into the chain of waits and
+// firings that bounds its length.
+type PathSeg struct {
+	Track      int
+	Cause      Cause
+	Start, End int64
+}
+
+// maxPathSegs caps the walk; the cursor strictly decreases every step, so
+// this only truncates pathological cycle-by-cycle fragmentations.
+const maxPathSegs = 1 << 18
+
+// CriticalPath walks the fired/stalled-edge chain that bounds the run's
+// cycle count. It starts from the track whose last busy interval ends latest
+// (the unit whose final firing defines Result.Cycles) and walks backward in
+// time: a busy interval charges the unit itself; a stall interval charges
+// the wait and hops to the blamed peer track — the producer it starved on,
+// the consumer that back-pressured it, the DRAM stream it waited for — so
+// the walk follows causality upstream. Gaps (cycles with no recorded
+// interval) are charged as idle. Segments are returned in time order.
+func CriticalPath(rec *Recording) []PathSeg {
+	cur, cursor := pathEndpoint(rec)
+	if cur < 0 || cursor <= 0 {
+		return nil
+	}
+	var path []PathSeg
+	for cursor > 0 && len(path) < maxPathSegs {
+		t := rec.Tracks[cur]
+		iv := intervalAt(t, cursor-1)
+		if iv == nil {
+			// No recorded activity at cursor-1: idle back to the previous
+			// interval's end (or the run's start).
+			prev := int64(0)
+			if j := lastEndingBy(t, cursor-1); j >= 0 {
+				prev = t.Intervals[j].End
+			}
+			path = append(path, PathSeg{Track: cur, Cause: CauseIdle, Start: prev, End: cursor})
+			cursor = prev
+			continue
+		}
+		seg := PathSeg{Track: cur, Cause: iv.Cause, Start: iv.Start, End: cursor}
+		path = append(path, seg)
+		cursor = iv.Start
+		if iv.Cause != CauseBusy && iv.Peer >= 0 &&
+			int(iv.Peer) < len(rec.Tracks) && rec.Tracks[iv.Peer] != nil {
+			cur = int(iv.Peer)
+		}
+	}
+	// Reverse into time order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+// pathEndpoint picks the walk's starting track and cycle: the latest busy
+// interval end across all tracks (lowest track ID on ties), preferring unit
+// tracks over DRAM channels so the chain starts at the unit whose last
+// firing bounds the runtime.
+func pathEndpoint(rec *Recording) (track int, at int64) {
+	track, at = -1, 0
+	for pass, wantDRAM := 0, false; pass < 2; pass, wantDRAM = pass+1, true {
+		for _, t := range rec.Live() {
+			if (t.Kind == "dram") != wantDRAM {
+				continue
+			}
+			for i := len(t.Intervals) - 1; i >= 0; i-- {
+				if t.Intervals[i].Cause == CauseBusy {
+					if t.Intervals[i].End > at {
+						track, at = t.ID, t.Intervals[i].End
+					}
+					break
+				}
+			}
+		}
+		if track >= 0 {
+			return track, at
+		}
+	}
+	return track, at
+}
+
+// intervalAt returns the track's interval covering cycle c, or nil.
+func intervalAt(t *Track, c int64) *Interval {
+	// First interval with Start > c, minus one.
+	i := sort.Search(len(t.Intervals), func(i int) bool { return t.Intervals[i].Start > c })
+	if i == 0 {
+		return nil
+	}
+	if iv := &t.Intervals[i-1]; iv.End > c {
+		return iv
+	}
+	return nil
+}
+
+// lastEndingBy returns the index of the last interval with End <= c+1 that
+// does not cover c, or -1. Used to size idle gaps.
+func lastEndingBy(t *Track, c int64) int {
+	i := sort.Search(len(t.Intervals), func(i int) bool { return t.Intervals[i].Start > c })
+	if i == 0 {
+		return -1
+	}
+	return i - 1
+}

@@ -1,0 +1,268 @@
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// UnitReport is one track's accounting: how its cycles split between firing,
+// refined stall causes, and idle time (fill before the first activity plus
+// the drained tail after the last).
+type UnitReport struct {
+	ID   int
+	Name string
+	Kind string
+	Busy int64
+	// Stalls is indexed by Cause; only the StallCauses slots are used.
+	Stalls [NumCauses]int64
+	Idle   int64
+	// Util is Busy over the run length.
+	Util float64
+}
+
+// StallTotal sums the unit's stall cycles across all causes.
+func (u *UnitReport) StallTotal() int64 {
+	var n int64
+	for _, c := range StallCauses() {
+		n += u.Stalls[c]
+	}
+	return n
+}
+
+// DominantStall returns the unit's largest stall cause and its cycle count
+// (CauseIdle, 0 when the unit never stalled).
+func (u *UnitReport) DominantStall() (Cause, int64) {
+	best, bestN := CauseIdle, int64(0)
+	for _, c := range StallCauses() {
+		if u.Stalls[c] > bestN {
+			best, bestN = c, u.Stalls[c]
+		}
+	}
+	return best, bestN
+}
+
+// Report is the analyzed view of a recording.
+type Report struct {
+	Cycles int64
+	// Units covers every live track in ID order, DRAM channels included.
+	Units []UnitReport
+	// StallsByCause aggregates refined stall cycles across unit tracks.
+	StallsByCause map[string]int64
+	// Path is the critical path: the backward-walked chain of busy/stall
+	// segments that bounds the run's cycle count (see CriticalPath).
+	Path []PathSeg
+}
+
+// Analyze turns a finished recording into a report.
+func Analyze(rec *Recording) *Report {
+	rep := &Report{Cycles: rec.Cycles, StallsByCause: map[string]int64{}}
+	for _, t := range rec.Live() {
+		u := UnitReport{ID: t.ID, Name: t.Name, Kind: t.Kind}
+		var covered int64
+		for _, iv := range t.Intervals {
+			n := iv.End - iv.Start
+			covered += n
+			if iv.Cause == CauseBusy {
+				u.Busy += n
+			} else {
+				u.Stalls[iv.Cause] += n
+			}
+		}
+		if u.Idle = rec.Cycles - covered; u.Idle < 0 {
+			u.Idle = 0
+		}
+		if rec.Cycles > 0 {
+			u.Util = float64(u.Busy) / float64(rec.Cycles)
+		}
+		for _, c := range StallCauses() {
+			if u.Stalls[c] > 0 {
+				rep.StallsByCause[c.String()] += u.Stalls[c]
+			}
+		}
+		rep.Units = append(rep.Units, u)
+	}
+	rep.Path = CriticalPath(rec)
+	return rep
+}
+
+// TopStalled returns up to n unit reports ordered by total stall cycles,
+// most-stalled first. DRAM channel tracks never stall and are excluded.
+func (r *Report) TopStalled(n int) []UnitReport {
+	out := make([]UnitReport, 0, len(r.Units))
+	for _, u := range r.Units {
+		if u.Kind != "dram" && u.StallTotal() > 0 {
+			out = append(out, u)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := out[i].StallTotal(), out[j].StallTotal()
+		if si != sj {
+			return si > sj
+		}
+		return out[i].ID < out[j].ID
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// PathContribution is one (unit, cause) aggregate of the critical path.
+type PathContribution struct {
+	Unit   string
+	Cause  Cause
+	Cycles int64
+	// Share is Cycles over the path's total length.
+	Share float64
+}
+
+// AggregatePath collapses the critical path's segments by (unit, cause),
+// largest contribution first — the "what bounds the runtime" summary.
+func (r *Report) AggregatePath() []PathContribution {
+	type key struct {
+		unit  string
+		cause Cause
+	}
+	names := map[int]string{}
+	for _, u := range r.Units {
+		names[u.ID] = u.Name
+	}
+	sums := map[key]int64{}
+	var total int64
+	for _, s := range r.Path {
+		n := s.End - s.Start
+		sums[key{names[s.Track], s.Cause}] += n
+		total += n
+	}
+	out := make([]PathContribution, 0, len(sums))
+	for k, n := range sums {
+		pc := PathContribution{Unit: k.unit, Cause: k.cause, Cycles: n}
+		if total > 0 {
+			pc.Share = float64(n) / float64(total)
+		}
+		out = append(out, pc)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cycles != out[j].Cycles {
+			return out[i].Cycles > out[j].Cycles
+		}
+		if out[i].Unit != out[j].Unit {
+			return out[i].Unit < out[j].Unit
+		}
+		return out[i].Cause < out[j].Cause
+	})
+	return out
+}
+
+// Render formats the report as the CLI's human-readable text: the critical
+// path summary, then a per-unit breakdown of the most-stalled units.
+func (r *Report) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "profile over %d cycles\n", r.Cycles)
+
+	if agg := r.AggregatePath(); len(agg) > 0 {
+		sb.WriteString("critical path (the unit chain bounding the runtime):\n")
+		fmt.Fprintf(&sb, "  %-28s %-14s %12s %7s\n", "unit", "cause", "cycles", "share")
+		for i, pc := range agg {
+			if i >= 12 {
+				fmt.Fprintf(&sb, "  ... %d more contributions\n", len(agg)-i)
+				break
+			}
+			fmt.Fprintf(&sb, "  %-28s %-14s %12d %6.1f%%\n", pc.Unit, pc.Cause, pc.Cycles, pc.Share*100)
+		}
+	}
+
+	top := r.TopStalled(12)
+	if len(top) > 0 {
+		sb.WriteString("most-stalled units:\n")
+		fmt.Fprintf(&sb, "  %-28s %-6s %6s %10s  %-14s %12s\n",
+			"unit", "kind", "util", "stalls", "dominant", "cycles")
+		for _, u := range top {
+			cause, n := u.DominantStall()
+			fmt.Fprintf(&sb, "  %-28s %-6s %5.1f%% %10d  %-14s %12d\n",
+				u.Name, u.Kind, u.Util*100, u.StallTotal(), cause, n)
+		}
+	}
+
+	if len(r.StallsByCause) > 0 {
+		sb.WriteString("stall cycles by cause:\n")
+		causes := make([]string, 0, len(r.StallsByCause))
+		for c := range r.StallsByCause {
+			causes = append(causes, c)
+		}
+		sort.Slice(causes, func(i, j int) bool {
+			if r.StallsByCause[causes[i]] != r.StallsByCause[causes[j]] {
+				return r.StallsByCause[causes[i]] > r.StallsByCause[causes[j]]
+			}
+			return causes[i] < causes[j]
+		})
+		for _, c := range causes {
+			fmt.Fprintf(&sb, "  %-14s %12d\n", c, r.StallsByCause[c])
+		}
+	}
+	return sb.String()
+}
+
+// ReportJSON is the wire form of a report: the inline profile a sarad
+// response carries next to the simulation result.
+type ReportJSON struct {
+	Cycles        int64             `json:"cycles"`
+	StallsByCause map[string]int64  `json:"stalls_by_cause,omitempty"`
+	Units         []UnitReportJSON  `json:"units,omitempty"`
+	CriticalPath  []PathSegmentJSON `json:"critical_path,omitempty"`
+}
+
+// UnitReportJSON is the wire form of one unit's breakdown.
+type UnitReportJSON struct {
+	Name   string           `json:"name"`
+	Kind   string           `json:"kind"`
+	Util   float64          `json:"util"`
+	Busy   int64            `json:"busy_cycles"`
+	Idle   int64            `json:"idle_cycles,omitempty"`
+	Stalls map[string]int64 `json:"stalls,omitempty"`
+}
+
+// PathSegmentJSON is one aggregated critical-path contribution.
+type PathSegmentJSON struct {
+	Unit   string  `json:"unit"`
+	Cause  string  `json:"cause"`
+	Cycles int64   `json:"cycles"`
+	Share  float64 `json:"share"`
+}
+
+// jsonUnitCap bounds the units serialized inline; the most-stalled units are
+// the interesting ones and full timelines belong in the Chrome trace export.
+const jsonUnitCap = 16
+
+// JSON converts the report to its bounded wire form.
+func (r *Report) JSON() *ReportJSON {
+	out := &ReportJSON{Cycles: r.Cycles}
+	if len(r.StallsByCause) > 0 {
+		out.StallsByCause = make(map[string]int64, len(r.StallsByCause))
+		for k, v := range r.StallsByCause {
+			out.StallsByCause[k] = v
+		}
+	}
+	for _, u := range r.TopStalled(jsonUnitCap) {
+		uj := UnitReportJSON{Name: u.Name, Kind: u.Kind, Util: u.Util, Busy: u.Busy, Idle: u.Idle}
+		for _, c := range StallCauses() {
+			if u.Stalls[c] > 0 {
+				if uj.Stalls == nil {
+					uj.Stalls = map[string]int64{}
+				}
+				uj.Stalls[c.String()] = u.Stalls[c]
+			}
+		}
+		out.Units = append(out.Units, uj)
+	}
+	for i, pc := range r.AggregatePath() {
+		if i >= jsonUnitCap {
+			break
+		}
+		out.CriticalPath = append(out.CriticalPath, PathSegmentJSON{
+			Unit: pc.Unit, Cause: pc.Cause.String(), Cycles: pc.Cycles, Share: pc.Share,
+		})
+	}
+	return out
+}

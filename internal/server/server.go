@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 	"time"
 
 	"sara/internal/arch"
@@ -28,6 +29,7 @@ import (
 	"sara/internal/merge"
 	"sara/internal/opt"
 	"sara/internal/partition"
+	"sara/internal/profile"
 	"sara/internal/sim"
 	"sara/internal/workloads"
 	"sara/spatial"
@@ -142,6 +144,12 @@ type RunRequest struct {
 	// ignored by /v1/compile. The response's result.engine reports which
 	// cycle engine actually ran.
 	Engine string `json:"engine,omitempty"`
+	// Profile attaches the timeline profiler to the simulation and returns
+	// the analyzed report (per-unit stall attribution, critical path) inline
+	// in the response. Cycle engines only; incompatible with "analytic".
+	// Profiling does not perturb the simulation, and the compiled design is
+	// cached under the same key either way.
+	Profile bool `json:"profile,omitempty"`
 	// TimeoutMS bounds this request, capped at the server default.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
 }
@@ -239,6 +247,9 @@ type RunResponse struct {
 	MIPNodesExplored int             `json:"mip_nodes_explored,omitempty"`
 	Resources        ResourcesJSON   `json:"resources"`
 	Result           *sim.ResultJSON `json:"result,omitempty"`
+	// Profile is the analyzed timeline profile, present when the request set
+	// profile: true.
+	Profile *profile.ReportJSON `json:"profile,omitempty"`
 }
 
 type errorJSON struct {
@@ -309,6 +320,9 @@ func (s *Server) normalize(req *RunRequest) error {
 	case "auto", "cycle", "dense", "analytic":
 	default:
 		return fmt.Errorf("unknown engine %q (want auto, cycle, event, dense, or analytic)", req.Engine)
+	}
+	if req.Profile && req.Engine == "analytic" {
+		return errors.New("profiling needs a cycle-level engine; the analytic model has no timeline")
 	}
 	return nil
 }
@@ -513,19 +527,21 @@ func (s *Server) execute(ctx context.Context, req *RunRequest, spec *arch.Spec, 
 	}
 	t1 := time.Now()
 	var result *sim.Result
+	var rec *profile.Recording
 	engine := req.Engine
 	if engine == "" {
 		engine = "auto"
 	}
-	switch engine {
-	case "auto":
-		result, err = sim.CycleEngine(compiled.Design(), 0, sim.EngineAuto)
-	case "cycle":
-		result, err = sim.CycleEngine(compiled.Design(), 0, sim.EngineEvent)
-	case "dense":
-		result, err = sim.CycleEngine(compiled.Design(), 0, sim.EngineDense)
-	case "analytic":
+	kinds := map[string]sim.EngineKind{
+		"auto": sim.EngineAuto, "cycle": sim.EngineEvent, "dense": sim.EngineDense,
+	}
+	switch {
+	case engine == "analytic":
 		result, err = sim.Analytic(compiled.Design())
+	case req.Profile:
+		result, rec, err = sim.CycleProfiled(compiled.Design(), 0, kinds[engine])
+	default:
+		result, err = sim.CycleEngine(compiled.Design(), 0, kinds[engine])
 	}
 	if err != nil {
 		return nil, http.StatusUnprocessableEntity, err
@@ -534,12 +550,33 @@ func (s *Server) execute(ctx context.Context, req *RunRequest, spec *arch.Spec, 
 	s.metrics.Observe("sarad_sim_seconds", simWall.Seconds())
 	s.metrics.Add("sarad_cycles_simulated_total", result.Cycles)
 	s.metrics.Add("sarad_sim_requests_"+engine+"_total", 1)
+	// Per-cause stall counters come from every cycle-level run; a scrape sees
+	// where the fleet's simulated cycles are going, not just how many ran.
+	for cause, n := range result.Stalls {
+		s.metrics.Add("sarad_sim_stall_cycles_"+metricName(cause)+"_total", n)
+	}
+	if rec != nil {
+		rep := profile.Analyze(rec)
+		// Refined attribution (upstream vs network vs DRAM, token vs credit)
+		// exists only on profiled runs, so these counters cover the profiled
+		// subset of the coarse ones above.
+		for cause, n := range rep.StallsByCause {
+			s.metrics.Add("sarad_sim_profiled_stall_cycles_"+metricName(cause)+"_total", n)
+		}
+		s.metrics.Add("sarad_sim_profiled_requests_total", 1)
+		resp.Profile = rep.JSON()
+	}
 	resp.SimMS = float64(simWall.Microseconds()) / 1e3
 	if sec := simWall.Seconds(); sec > 0 {
 		resp.SimCyclesPerSec = float64(result.Cycles) / sec
 	}
 	resp.Result = result.JSON(spec)
 	return resp, http.StatusOK, nil
+}
+
+// metricName converts a stall-cause label to a Prometheus-safe name segment.
+func metricName(cause string) string {
+	return strings.ReplaceAll(cause, "-", "_")
 }
 
 // workloadInfo is one entry of the /v1/workloads listing.

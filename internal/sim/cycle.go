@@ -7,6 +7,7 @@ import (
 	"sara/internal/dfg"
 	"sara/internal/dram"
 	"sara/internal/ir"
+	"sara/internal/profile"
 )
 
 // EngineKind selects the cycle-level engine implementation. Both engines
@@ -171,6 +172,9 @@ type vuState struct {
 	// lastStall is the most recent blocking cause; the cause cannot change
 	// while no edge of the unit changes, so fast-forwarded windows extend it.
 	lastStall stallKind
+	// lastEdge is the edge that caused lastStall, for the profiler's refined
+	// attribution across fast-forwarded windows.
+	lastEdge *edgeState
 
 	// wrapBuf backs wrapLevels so enable checks stay allocation-free.
 	wrapBuf []int
@@ -213,6 +217,11 @@ type cycleSim struct {
 	edges []*edgeState
 	now   int64
 	trace *Trace
+	// rec, when non-nil, receives the timeline profile: one busy interval
+	// per firing/service run and one stall interval per blocked window,
+	// refined by cause (see recStall). Nil keeps profiling at the cost of
+	// one predictable branch per firing.
+	rec *profile.Recording
 
 	// Engine hooks: every element scheduled onto an edge and every pop of a
 	// receiver buffer flows through schedule/pop below, so the event engine
@@ -487,6 +496,7 @@ func (cs *cycleSim) runDense(maxCycles int64) (*Result, error) {
 				for _, vs := range cs.vus {
 					if vs != nil && vs.isCounterDriven() && !vs.done {
 						vs.addStall(vs.lastStall, skipped)
+						cs.recStall(vs, vs.lastStall, vs.lastEdge, cs.now+1, skipped)
 					}
 				}
 			}
@@ -516,10 +526,13 @@ func (cs *cycleSim) buildResult(cycles int64, engine string) *Result {
 		stalls["token-wait"] += vs.stallToken
 		if vs.fired > 0 {
 			units = append(units, UnitStat{
-				Name:   vs.u.Name + vs.u.Instance,
-				Fired:  vs.fired,
-				Busy:   float64(vs.fired) / float64(cycles),
-				Stalls: vs.stallIn + vs.stallOut + vs.stallToken,
+				Name:       vs.u.Name + vs.u.Instance,
+				Fired:      vs.fired,
+				Busy:       float64(vs.fired) / float64(cycles),
+				Stalls:     vs.stallIn + vs.stallOut + vs.stallToken,
+				StallIn:    vs.stallIn,
+				StallOut:   vs.stallOut,
+				StallToken: vs.stallToken,
 			})
 		}
 	}
@@ -546,22 +559,23 @@ func (vs *vuState) isCounterDriven() bool {
 	return true
 }
 
-// blockCause returns why a counter-driven unit cannot fire this cycle, or
+// blockCause returns why a counter-driven unit cannot fire this cycle —
+// along with the blocking edge, for the profiler's refined attribution — or
 // stallNone when it is enabled: per-firing inputs available, level-popped
 // inputs held, per-firing outputs (and any wrap-triggered pushes) have space.
 // Pure check — no state changes.
-func (cs *cycleSim) blockCause(vs *vuState) stallKind {
+func (cs *cycleSim) blockCause(vs *vuState) (stallKind, *edgeState) {
 	for _, es := range vs.inFire {
 		if es.occ < 1 {
 			if es.e.Kind == dfg.EToken {
-				return stallToken
+				return stallToken, es
 			}
-			return stallIn
+			return stallIn, es
 		}
 	}
 	for _, es := range vs.holdIn {
 		if es.occ < 1 {
-			return stallToken
+			return stallToken, es
 		}
 	}
 	for _, grp := range vs.inAny {
@@ -570,22 +584,66 @@ func (cs *cycleSim) blockCause(vs *vuState) stallKind {
 			total += es.occ
 		}
 		if total < 1 {
-			return stallIn
+			return stallIn, grp[0]
 		}
 	}
 	for _, es := range vs.outFire {
 		if es.space() < 1 {
-			return stallOut
+			return stallOut, es
 		}
 	}
 	for _, lvl := range vs.wrapLevels() {
 		for _, es := range vs.pushAt[lvl] {
 			if es.space() < 1 {
-				return stallOut
+				return stallOut, es
 			}
 		}
 	}
-	return stallNone
+	return stallNone, nil
+}
+
+// refineStall maps a coarse stall kind and its blocking edge to the
+// profiler's refined cause and the peer track blamed. Grouping the refined
+// causes by Cause.Coarse reproduces the coarse kind, so interval sums settle
+// exactly against the Result.Stalls counters.
+func (cs *cycleSim) refineStall(k stallKind, es *edgeState) (profile.Cause, int32) {
+	switch k {
+	case stallIn:
+		if es == nil {
+			return profile.CauseUpstream, profile.NoPeer
+		}
+		if src := cs.d.G.VU(es.e.Src); src != nil && src.Kind == dfg.VAG {
+			return profile.CauseDRAM, int32(es.e.Src)
+		}
+		if es.inflight() > 0 {
+			return profile.CauseNetwork, int32(es.e.Src)
+		}
+		return profile.CauseUpstream, int32(es.e.Src)
+	case stallOut:
+		if es == nil {
+			return profile.CauseOutput, profile.NoPeer
+		}
+		return profile.CauseOutput, int32(es.e.Dst)
+	default: // stallToken
+		if es == nil {
+			return profile.CauseToken, profile.NoPeer
+		}
+		if es.e.Init > 0 {
+			return profile.CauseCredit, int32(es.e.Src)
+		}
+		return profile.CauseToken, int32(es.e.Src)
+	}
+}
+
+// recStall records one refined stall interval; a no-op when profiling is
+// off. The refinement inspects the blocking edge's current state, so callers
+// must invoke it while that state still reflects the blocked window.
+func (cs *cycleSim) recStall(vs *vuState, k stallKind, es *edgeState, start, n int64) {
+	if cs.rec == nil || k == stallNone || n <= 0 {
+		return
+	}
+	c, peer := cs.refineStall(k, es)
+	cs.rec.Record(int(vs.u.ID), c, start, n, peer)
 }
 
 // fireCounterUnit performs one firing; the caller has established the unit is
@@ -623,6 +681,9 @@ func (cs *cycleSim) fireCounterUnit(vs *vuState) {
 	if vs.u.Kind.IsCompute() {
 		cs.busyCycles++
 	}
+	if cs.rec != nil {
+		cs.rec.Record(int(vs.u.ID), profile.CauseBusy, cs.now, 1, profile.NoPeer)
+	}
 	if vs.fired >= vs.total {
 		vs.done = true
 	}
@@ -630,10 +691,12 @@ func (cs *cycleSim) fireCounterUnit(vs *vuState) {
 
 // stepCounterUnit attempts one firing of a counter-driven unit (dense path).
 func (cs *cycleSim) stepCounterUnit(vs *vuState) bool {
-	cause := cs.blockCause(vs)
+	cause, edge := cs.blockCause(vs)
 	if cause != stallNone {
 		vs.addStall(cause, 1)
+		cs.recStall(vs, cause, edge, cs.now, 1)
 		vs.lastStall = cause
+		vs.lastEdge = edge
 		return false
 	}
 	cs.fireCounterUnit(vs)
@@ -685,6 +748,9 @@ func (cs *cycleSim) stepVMU(vs *vuState) bool {
 	progress := false
 	progress = cs.serveVMUPort(vs, true) || progress
 	progress = cs.serveVMUPort(vs, false) || progress
+	if progress && cs.rec != nil {
+		cs.rec.Record(int(vs.u.ID), profile.CauseBusy, cs.now, 1, profile.NoPeer)
+	}
 	return progress
 }
 
@@ -752,6 +818,9 @@ func (cs *cycleSim) stepMerge(vs *vuState) bool {
 		cs.schedule(out, cs.now+1+out.latency, 1)
 		progress = true
 	}
+	if progress && cs.rec != nil {
+		cs.rec.Record(int(vs.u.ID), profile.CauseBusy, cs.now, 1, profile.NoPeer)
+	}
 	return progress
 }
 
@@ -766,6 +835,9 @@ func (cs *cycleSim) stepRetime(vs *vuState) bool {
 	}
 	cs.pop(in, 1)
 	cs.schedule(out, cs.now+1+out.latency, 1)
+	if cs.rec != nil {
+		cs.rec.Record(int(vs.u.ID), profile.CauseBusy, cs.now, 1, profile.NoPeer)
+	}
 	return true
 }
 
@@ -790,6 +862,9 @@ func (cs *cycleSim) stepSync(vs *vuState) bool {
 	}
 	for _, es := range vs.outFire {
 		cs.schedule(es, cs.now+1+es.latency, 1)
+	}
+	if cs.rec != nil {
+		cs.rec.Record(int(vs.u.ID), profile.CauseBusy, cs.now, 1, profile.NoPeer)
 	}
 	return true
 }

@@ -28,6 +28,7 @@ import (
 	"math/bits"
 
 	"sara/internal/dfg"
+	"sara/internal/profile"
 )
 
 // arrivalEvent is a scheduled delivery on an edge. It carries the edge's ID
@@ -68,7 +69,14 @@ type eventSim struct {
 	// category at the next evaluation — matching dense cycle-by-cycle counts.
 	blockedSince []int64
 	blockedCause []stallKind
-	lastEnq      []int64 // dedupe: last timer cycle enqueued per unit
+	// blockedRef/blockedPeer pin the profiler's refined cause at park time:
+	// refinement reads the blocking edge's state (e.g. in-flight counts), and
+	// by settle time a delivery has usually changed it. Dense re-refines every
+	// cycle instead, so the refined input split (upstream vs network) may
+	// legitimately differ between engines; the coarse sums are identical.
+	blockedRef  []profile.Cause
+	blockedPeer []int32
+	lastEnq     []int64 // dedupe: last timer cycle enqueued per unit
 
 	processing int // VU ID being stepped; -1 outside the stepping pass
 	now        int64
@@ -87,6 +95,8 @@ func (cs *cycleSim) runEvent(maxCycles int64) (*Result, error) {
 		parked:       make([]bool, n),
 		blockedSince: make([]int64, n),
 		blockedCause: make([]stallKind, n),
+		blockedRef:   make([]profile.Cause, n),
+		blockedPeer:  make([]int32, n),
 		lastEnq:      make([]int64, n),
 		processing:   -1,
 		lastFire:     -1,
@@ -274,14 +284,21 @@ func (ev *eventSim) step(vs *vuState) {
 		}
 		// Settle the stall interval accumulated while parked.
 		if ev.blockedSince[id] >= 0 {
-			vs.addStall(ev.blockedCause[id], ev.now-ev.blockedSince[id])
+			n := ev.now - ev.blockedSince[id]
+			vs.addStall(ev.blockedCause[id], n)
+			if cs.rec != nil && n > 0 {
+				cs.rec.Record(id, ev.blockedRef[id], ev.blockedSince[id], n, ev.blockedPeer[id])
+			}
 			ev.blockedSince[id] = -1
 		}
-		cause := cs.blockCause(vs)
+		cause, edge := cs.blockCause(vs)
 		if cause != stallNone {
 			// Park. The next deliver/pop on the blocking edge wakes us.
 			ev.blockedSince[id] = ev.now
 			ev.blockedCause[id] = cause
+			if cs.rec != nil {
+				ev.blockedRef[id], ev.blockedPeer[id] = cs.refineStall(cause, edge)
+			}
 			ev.parked[id] = true
 			return
 		}
@@ -383,6 +400,9 @@ func (ev *eventSim) batchFire(vs *vuState, k int64) {
 	cs.firedTotal += k
 	if vs.u.Kind.IsCompute() {
 		cs.busyCycles += k
+	}
+	if cs.rec != nil {
+		cs.rec.Record(int(vs.u.ID), profile.CauseBusy, cs.now, k, profile.NoPeer)
 	}
 	if vs.fired >= vs.total {
 		vs.done = true

@@ -28,12 +28,17 @@ type DRAMStatsJSON struct {
 	AchievedBytesPerCycle float64 `json:"achieved_bytes_per_cycle"`
 }
 
-// UnitStatJSON is the wire encoding of one unit's activity summary.
+// UnitStatJSON is the wire encoding of one unit's activity summary. Busy is
+// the unit's utilization (fired over total cycles); StallsByCause breaks the
+// Stalls total down by the Result.Stalls cause keys. Both additions are
+// omitempty so pre-existing consumers of the shape see no change on designs
+// that never stall.
 type UnitStatJSON struct {
-	Name   string  `json:"name"`
-	Fired  int64   `json:"fired"`
-	Busy   float64 `json:"busy"`
-	Stalls int64   `json:"stalls"`
+	Name          string           `json:"name"`
+	Fired         int64            `json:"fired"`
+	Busy          float64          `json:"busy"`
+	Stalls        int64            `json:"stalls"`
+	StallsByCause map[string]int64 `json:"stalls_by_cause,omitempty"`
 }
 
 // JSON converts the result to its wire encoding. spec supplies the clock for
@@ -69,7 +74,20 @@ func (r *Result) JSON(spec *arch.Spec) *ResultJSON {
 		}
 	}
 	for _, u := range r.TopUnits {
-		out.TopUnits = append(out.TopUnits, UnitStatJSON{Name: u.Name, Fired: u.Fired, Busy: u.Busy, Stalls: u.Stalls})
+		uj := UnitStatJSON{Name: u.Name, Fired: u.Fired, Busy: u.Busy, Stalls: u.Stalls}
+		if u.Stalls > 0 {
+			uj.StallsByCause = map[string]int64{}
+			if u.StallIn > 0 {
+				uj.StallsByCause["input-starved"] = u.StallIn
+			}
+			if u.StallOut > 0 {
+				uj.StallsByCause["output-blocked"] = u.StallOut
+			}
+			if u.StallToken > 0 {
+				uj.StallsByCause["token-wait"] = u.StallToken
+			}
+		}
+		out.TopUnits = append(out.TopUnits, uj)
 	}
 	return out
 }

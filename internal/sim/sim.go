@@ -93,8 +93,12 @@ type Result struct {
 type UnitStat struct {
 	Name   string
 	Fired  int64
-	Busy   float64 // fired / total cycles
+	Busy   float64 // fired / total cycles — the unit's utilization
 	Stalls int64   // blocked unit-cycles, all causes
+	// Per-cause breakdown of Stalls, keyed like Result.Stalls:
+	StallIn    int64 // input-starved
+	StallOut   int64 // output-blocked
+	StallToken int64 // token-wait
 }
 
 // Seconds converts cycles to seconds at the design's clock.

@@ -37,11 +37,30 @@ func (t *Trace) PortHistory(access string) []int64 {
 }
 
 // CycleWithTrace runs the cycle engine while recording every memory-port
-// service event. Traces always come from the dense engine: the trace is the
-// ordering oracle CMMC verification leans on, and the event engine's batch
-// firing can end a run before tail VMU services that never affect the Result
-// would have been recorded.
+// service event. Traces always come from the dense engine — see
+// CycleWithTraceEngine for why, and for the explicit-engine variant.
 func CycleWithTrace(d *Design, maxCycles int64) (*Result, *Trace, error) {
+	return CycleWithTraceEngine(d, maxCycles, EngineAuto)
+}
+
+// ErrTraceNeedsDense is returned when a memory-port trace is requested from
+// the event engine. Traces are an ordering oracle: CMMC verification compares
+// the interleaving of service events against the sequential program order,
+// and the event engine's batch firing can end a run before tail VMU services
+// that never affect the Result would have been recorded — the trace would be
+// truncated, not merely reordered. Rather than silently switching engines (or
+// silently producing a short trace), the request fails loudly.
+var ErrTraceNeedsDense = fmt.Errorf(
+	"sim: memory-port tracing requires the dense engine (EngineDense); " +
+		"the event engine's batch firing may end a run before tail VMU services are recorded")
+
+// CycleWithTraceEngine is CycleWithTrace with an explicit engine choice.
+// EngineAuto resolves to the dense engine (tracing overrides the usual
+// units×activity heuristic); EngineEvent returns ErrTraceNeedsDense.
+func CycleWithTraceEngine(d *Design, maxCycles int64, kind EngineKind) (*Result, *Trace, error) {
+	if kind == EngineEvent {
+		return nil, nil, ErrTraceNeedsDense
+	}
 	cs, err := newCycleSim(d)
 	if err != nil {
 		return nil, nil, err
