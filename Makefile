@@ -28,14 +28,17 @@ bench:
 	$(GO) run ./cmd/sarabench -o BENCH_sim.json -compile-o BENCH_compile.json
 	$(GO) test -bench=. -benchmem
 
-# One iteration of the engine comparison plus a tiny compile-benchmark
-# subset: catches bit-rot in both harnesses without paying for a full
-# timing run. The smoke compile report goes to a scratch path — only
-# `make bench` refreshes the committed BENCH files.
+# One iteration of the engine comparison (event, dense, and parallel) plus a
+# tiny compile-benchmark subset and one explicit parallel-engine row: catches
+# bit-rot in all harnesses without paying for a full timing run. The smoke
+# compile report goes to a scratch path — only `make bench` refreshes the
+# committed BENCH files. (The parallel engine's -race equivalence suite runs
+# under the `race` target, which ci already includes.)
 benchsmoke:
 	$(GO) test -run '^$$' -bench BenchmarkCycleEngine -benchtime 1x .
 	$(GO) run ./cmd/sarabench -mode compile -smoke -compile-reps 1 \
 		-compile-o $${TMPDIR:-/tmp}/BENCH_compile_smoke.json
+	$(GO) run ./cmd/sarasim -workload rf -par 16 -scale 64 -engine parallel >/dev/null
 
 # End-to-end profiler smoke: one profiled run producing both artifacts —
 # the stall-attribution report and a Chrome trace-event export.

@@ -199,7 +199,7 @@ func BenchmarkCycleEngine(b *testing.B) {
 		for _, eng := range []struct {
 			name string
 			kind sim.EngineKind
-		}{{"event", sim.EngineEvent}, {"dense", sim.EngineDense}} {
+		}{{"event", sim.EngineEvent}, {"dense", sim.EngineDense}, {"parallel", sim.EngineParallel}} {
 			b.Run(tc.workload+"/"+eng.name, func(b *testing.B) {
 				var cycles, fired int64
 				for i := 0; i < b.N; i++ {

@@ -17,15 +17,18 @@ import (
 )
 
 // Model is an off-chip memory system instance.
+//
+// All mutable request-path state (queue positions and counters) lives in the
+// per-channel structs: two goroutines driving disjoint channels never share a
+// cache line of mutable state, which is what lets the parallel simulation
+// engine co-locate each channel with the shard that owns its address
+// generators and issue requests without locks. Aggregate Stats sums the
+// channels on demand.
 type Model struct {
 	Spec arch.DRAMSpec
 	ch   []channel
 	// rrNext assigns streams to channels round-robin.
 	rrNext int
-	// stats
-	totalBytes  int64
-	totalReqs   int64
-	stallCycles int64
 
 	// OnService, when set, observes every channel service interval: the
 	// channel was occupied by one request's transfer over [start, end)
@@ -41,6 +44,10 @@ type channel struct {
 	// channel continuously instead of rounding each to whole cycles.
 	busyUntil float64
 	bytes     int64
+	// per-channel counters, summed by Stats
+	reqs        int64
+	stallCycles int64
+	_           [4]int64 // pad to a cache line: channels are written concurrently
 }
 
 // New returns a model for the given DRAM technology.
@@ -87,13 +94,12 @@ func (m *Model) request(ch int, bytes int, now int64, coalesced bool) int64 {
 	c := &m.ch[ch]
 	start := float64(now)
 	if c.busyUntil > start {
-		m.stallCycles += int64(c.busyUntil - start)
+		c.stallCycles += int64(c.busyUntil - start)
 		start = c.busyUntil
 	}
 	c.busyUntil = start + service
 	c.bytes += int64(b)
-	m.totalBytes += int64(b)
-	m.totalReqs++
+	c.reqs++
 	if m.OnService != nil {
 		m.OnService(ch, int64(start), int64(c.busyUntil+0.9999))
 	}
@@ -146,14 +152,15 @@ type Stats struct {
 	PeakBytesPerCycle float64
 }
 
-// Stats returns aggregate counters.
+// Stats returns aggregate counters, summed over the channels.
 func (m *Model) Stats() Stats {
-	return Stats{
-		TotalBytes:        m.totalBytes,
-		TotalReqs:         m.totalReqs,
-		StallCycles:       m.stallCycles,
-		PeakBytesPerCycle: m.Spec.TotalBytesPerCycle(),
+	s := Stats{PeakBytesPerCycle: m.Spec.TotalBytesPerCycle()}
+	for i := range m.ch {
+		s.TotalBytes += m.ch[i].bytes
+		s.TotalReqs += m.ch[i].reqs
+		s.StallCycles += m.ch[i].stallCycles
 	}
+	return s
 }
 
 // Reset clears channel state and counters.
@@ -162,9 +169,6 @@ func (m *Model) Reset() {
 		m.ch[i] = channel{}
 	}
 	m.rrNext = 0
-	m.totalBytes = 0
-	m.totalReqs = 0
-	m.stallCycles = 0
 }
 
 // AchievedBytesPerCycle returns the realized bandwidth over an interval of
@@ -173,5 +177,5 @@ func (m *Model) AchievedBytesPerCycle(cycles int64) float64 {
 	if cycles <= 0 {
 		return 0
 	}
-	return float64(m.totalBytes) / float64(cycles)
+	return float64(m.Stats().TotalBytes) / float64(cycles)
 }

@@ -138,11 +138,13 @@ type RunRequest struct {
 	Arch *arch.SpecJSON `json:"arch,omitempty"`
 	// Options toggles compiler passes.
 	Options *CompileOptionsJSON `json:"options,omitempty"`
-	// Engine is "auto" (default: dense for small token-free graphs, event
-	// otherwise — see sim.ChooseEngine), "cycle"/"event" (the event-driven
-	// engine), "dense" (the reference cycle-level engine), or "analytic";
-	// ignored by /v1/compile. The response's result.engine reports which
-	// cycle engine actually ran.
+	// Engine is "auto" (default: dense for small token-free graphs, sharded
+	// parallel for big token-heavy graphs on multicore hosts, event otherwise
+	// — see sim.ChooseEngine), "cycle"/"event" (the event-driven engine),
+	// "dense" (the reference cycle-level engine), "parallel" (the sharded
+	// multicore engine; bit-identical to "cycle"), or "analytic"; ignored by
+	// /v1/compile. The response's result.engine reports which cycle engine
+	// actually ran, and parallel runs attach result.parallel shard counters.
 	Engine string `json:"engine,omitempty"`
 	// Profile attaches the timeline profiler to the simulation and returns
 	// the analyzed report (per-unit stall attribution, critical path) inline
@@ -317,9 +319,9 @@ func (s *Server) normalize(req *RunRequest) error {
 	case "event":
 		// Alias: the event-driven engine's canonical wire name is "cycle".
 		req.Engine = "cycle"
-	case "auto", "cycle", "dense", "analytic":
+	case "auto", "cycle", "dense", "parallel", "analytic":
 	default:
-		return fmt.Errorf("unknown engine %q (want auto, cycle, event, dense, or analytic)", req.Engine)
+		return fmt.Errorf("unknown engine %q (want auto, cycle, event, dense, parallel, or analytic)", req.Engine)
 	}
 	if req.Profile && req.Engine == "analytic" {
 		return errors.New("profiling needs a cycle-level engine; the analytic model has no timeline")
@@ -534,6 +536,7 @@ func (s *Server) execute(ctx context.Context, req *RunRequest, spec *arch.Spec, 
 	}
 	kinds := map[string]sim.EngineKind{
 		"auto": sim.EngineAuto, "cycle": sim.EngineEvent, "dense": sim.EngineDense,
+		"parallel": sim.EngineParallel,
 	}
 	switch {
 	case engine == "analytic":
@@ -554,6 +557,16 @@ func (s *Server) execute(ctx context.Context, req *RunRequest, spec *arch.Spec, 
 	// where the fleet's simulated cycles are going, not just how many ran.
 	for cause, n := range result.Stalls {
 		s.metrics.Add("sarad_sim_stall_cycles_"+metricName(cause)+"_total", n)
+	}
+	if result.Par != nil {
+		// Parallel-engine health: shard counts say how designs are being cut,
+		// window/serial-cycle ratios say whether the conservative windows are
+		// actually wide, and barrier wait is the synchronization overhead.
+		s.metrics.Add("sarad_sim_parallel_requests_total", 1)
+		s.metrics.Observe("sarad_sim_parallel_shards", float64(result.Par.Shards))
+		s.metrics.Add("sarad_sim_parallel_windows_total", result.Par.Windows)
+		s.metrics.Add("sarad_sim_parallel_serial_cycles_total", result.Par.SerialCycles)
+		s.metrics.Observe("sarad_sim_parallel_barrier_wait_seconds", float64(result.Par.BarrierWaitNs)/1e9)
 	}
 	if rec != nil {
 		rep := profile.Analyze(rec)

@@ -1,6 +1,7 @@
 package sim_test
 
 import (
+	"runtime"
 	"testing"
 
 	"sara/internal/core"
@@ -21,11 +22,12 @@ func designShape(d *sim.Design) (units, tokens int) {
 }
 
 // TestChooseEngineHeuristic checks the documented rule — dense for small
-// token-free graphs, event otherwise — against every registered workload,
-// and requires the split to be non-vacuous (both engines get picked by at
-// least one design, so the heuristic actually discriminates).
+// token-free graphs, parallel for big token-heavy graphs when the runtime
+// has cores to back the shards, event otherwise — against every registered
+// workload, and requires the dense/non-dense split to be non-vacuous (so the
+// heuristic actually discriminates).
 func TestChooseEngineHeuristic(t *testing.T) {
-	var sawDense, sawEvent bool
+	var sawDense, sawOther bool
 	for _, w := range workloads.All() {
 		prog := w.Build(workloads.Params{Par: 4, Scale: 64})
 		cfg := core.DefaultConfig()
@@ -38,21 +40,24 @@ func TestChooseEngineHeuristic(t *testing.T) {
 		units, tokens := designShape(d)
 		got := sim.ChooseEngine(d)
 		want := sim.EngineEvent
-		if units <= 32 && tokens == 0 {
+		switch {
+		case units <= 32 && tokens == 0:
 			want = sim.EngineDense
+		case units >= 64 && tokens > 0 && runtime.GOMAXPROCS(0) >= 4:
+			want = sim.EngineParallel
 		}
 		if got != want {
-			t.Errorf("%s: ChooseEngine = %v with %d units / %d token streams, want %v",
-				w.Name, got, units, tokens, want)
+			t.Errorf("%s: ChooseEngine = %v with %d units / %d token streams at GOMAXPROCS %d, want %v",
+				w.Name, got, units, tokens, runtime.GOMAXPROCS(0), want)
 		}
 		if got == sim.EngineDense {
 			sawDense = true
 		} else {
-			sawEvent = true
+			sawOther = true
 		}
 	}
-	if !sawDense || !sawEvent {
-		t.Errorf("heuristic is vacuous over the workload suite: dense=%v event=%v", sawDense, sawEvent)
+	if !sawDense || !sawOther {
+		t.Errorf("heuristic is vacuous over the workload suite: dense=%v other=%v", sawDense, sawOther)
 	}
 }
 

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 
 	"sara/internal/dfg"
@@ -29,12 +30,42 @@ const (
 	// (where per-cycle scanning is near-free and the event heap is pure
 	// overhead), the event engine everywhere else. See ChooseEngine.
 	EngineAuto
+	// EngineParallel is the sharded conservative discrete-event engine: the
+	// unit graph is cut into shards that run on worker goroutines under
+	// conservative time windows (see parallel.go). Bit-identical to
+	// EngineEvent at any GOMAXPROCS and worker count.
+	EngineParallel
 )
+
+// String returns the engine's canonical wire name (the sarad `engine` request
+// values and the sarasim -engine flag).
+func (k EngineKind) String() string {
+	switch k {
+	case EngineEvent:
+		return "cycle"
+	case EngineDense:
+		return "dense"
+	case EngineParallel:
+		return "parallel"
+	case EngineAuto:
+		return "auto"
+	}
+	return fmt.Sprintf("engine(%d)", int(k))
+}
 
 // autoDenseMaxUnits is the unit-count ceiling below which the dense scan is
 // considered for auto selection: scanning a handful of units per cycle costs
 // less than the event engine's heap and wake-list bookkeeping.
 const autoDenseMaxUnits = 32
+
+// autoParallelMinUnits and autoParallelMinProcs gate auto-escalation to the
+// sharded engine: below ~64 units a cut cannot yield shards with enough work
+// to amortize window barriers, and below 4 schedulable cores the workers
+// would time-slice a single core for no gain.
+const (
+	autoParallelMinUnits = 64
+	autoParallelMinProcs = 4
+)
 
 // ChooseEngine resolves EngineAuto with a units×activity heuristic. Dense
 // per-cycle cost scales with unit/edge count; event cost scales with
@@ -55,6 +86,13 @@ func ChooseEngine(d *Design) EngineKind {
 	if units <= autoDenseMaxUnits && tokens == 0 {
 		return EngineDense
 	}
+	// Big token-heavy graphs are the parallel engine's target regime: enough
+	// units to cut into balanced shards, and token stalls supplying the idle
+	// stretches that keep cross-shard windows wide. Escalate only when the
+	// runtime actually has cores to put behind the shards.
+	if units >= autoParallelMinUnits && tokens > 0 && runtime.GOMAXPROCS(0) >= autoParallelMinProcs {
+		return EngineParallel
+	}
 	return EngineEvent
 }
 
@@ -68,6 +106,9 @@ func Cycle(d *Design, maxCycles int64) (*Result, error) {
 func CycleEngine(d *Design, maxCycles int64, kind EngineKind) (*Result, error) {
 	if kind == EngineAuto {
 		kind = ChooseEngine(d)
+	}
+	if kind == EngineParallel {
+		return CycleParallel(d, maxCycles, 0)
 	}
 	cs, err := newCycleSim(d)
 	if err != nil {
@@ -111,6 +152,11 @@ type edgeState struct {
 	// armed marks that the event engine holds a heap event for this edge's
 	// earliest undelivered arrival (at most one event per edge is in flight).
 	armed bool
+	// x, when non-nil, marks this edgeState as one half of a cut edge under
+	// the parallel engine: the source shard holds a mirror half and the
+	// destination shard the original, linked through x (see parallel.go).
+	// Nil in every single-threaded run.
+	x *xlink
 }
 
 // inflight returns the undelivered element count. The counter is maintained
@@ -225,10 +271,11 @@ type cycleSim struct {
 
 	// Engine hooks: every element scheduled onto an edge and every pop of a
 	// receiver buffer flows through schedule/pop below, so the event engine
-	// can maintain its arrival heap and wake the edge's waiters. Nil for the
-	// dense engine.
-	onSchedule func(es *edgeState, at int64)
-	onPop      func(es *edgeState)
+	// can maintain its arrival heap and wake the edge's waiters, and the
+	// parallel engine can additionally forward cross-shard traffic. Nil for
+	// the dense engine.
+	onSchedule func(es *edgeState, at int64, n int)
+	onPop      func(es *edgeState, n int)
 
 	firedTotal int64
 	busyCycles int64 // Σ over compute units of cycles spent firing
@@ -243,7 +290,7 @@ func (cs *cycleSim) schedule(es *edgeState, at int64, n int) {
 	es.pending = append(es.pending, arrival{at: at, n: n})
 	es.infl += n
 	if cs.onSchedule != nil {
-		cs.onSchedule(es, at)
+		cs.onSchedule(es, at, n)
 	}
 }
 
@@ -253,7 +300,7 @@ func (cs *cycleSim) schedule(es *edgeState, at int64, n int) {
 func (cs *cycleSim) pop(es *edgeState, n int) {
 	es.occ -= n
 	if cs.onPop != nil {
-		cs.onPop(es)
+		cs.onPop(es, n)
 	}
 }
 

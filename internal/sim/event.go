@@ -48,6 +48,16 @@ type timerEvent struct {
 type eventSim struct {
 	cs *cycleSim
 
+	// owned, when non-nil, restricts this instance to a shard of the unit
+	// graph under the parallel engine: only owned units are seeded, woken, or
+	// stepped, and deliveries on mirror halves of cut edges (whose Dst lives
+	// in another shard) wake nobody here. Nil means the whole graph.
+	owned []bool
+	// noStall marks units the analytic model proves can never block (see
+	// StallFreeUnits): their evaluation skips the blockCause check and the
+	// stall-interval bookkeeping entirely.
+	noStall []bool
+
 	arrivals arrivalHeap
 	timers   timerHeap
 	// curr is the set of units to step this cycle, one bit per VU ID,
@@ -83,13 +93,28 @@ type eventSim struct {
 	lastFire   int64
 	remaining  int
 	progressed bool
+
+	// lastActive/progAtLast track the most recent cycle this instance
+	// processed any event and whether that cycle made progress — the inputs
+	// to the parallel engine's global deadlock-cycle reconstruction (the
+	// serial driver keeps the equivalent in its loop variables).
+	lastActive int64
+	progAtLast bool
 }
 
-// runEvent advances the simulation to completion, event by event.
-func (cs *cycleSim) runEvent(maxCycles int64) (*Result, error) {
+// newEventSim builds the event-engine state over cs. owned, when non-nil,
+// restricts the instance to one shard (see the field doc); the caller still
+// must install cs.onSchedule/cs.onPop and seed with seedWakes.
+func newEventSim(cs *cycleSim, owned []bool) *eventSim {
 	n := len(cs.vus)
+	noStall := make([]bool, n)
+	if !disableStallFreeFastPath {
+		noStall = stallFreeStates(cs)
+	}
 	ev := &eventSim{
 		cs:           cs,
+		owned:        owned,
+		noStall:      noStall,
 		curr:         make([]uint64, (n+63)/64),
 		reserved:     make([]int64, n),
 		parked:       make([]bool, n),
@@ -100,60 +125,110 @@ func (cs *cycleSim) runEvent(maxCycles int64) (*Result, error) {
 		lastEnq:      make([]int64, n),
 		processing:   -1,
 		lastFire:     -1,
+		lastActive:   -1,
 	}
 	for i := range ev.blockedSince {
 		ev.blockedSince[i] = -1
 		ev.lastEnq[i] = -1
 	}
-	cs.onSchedule = ev.onSchedule
-	cs.onPop = ev.onPop
-	ev.remaining = cs.countRemaining()
-	// Every live unit is a candidate at cycle 0 (the dense engine's first
-	// full pass); afterwards only woken units are re-evaluated.
-	for id, vs := range cs.vus {
-		if vs != nil {
-			ev.wakeNow(id)
+	return ev
+}
+
+func (ev *eventSim) owns(id int) bool { return ev.owned == nil || ev.owned[id] }
+
+// seedWakes marks every (owned) live unit a candidate at cycle 0 — the dense
+// engine's first full pass — and counts the units that must complete.
+func (ev *eventSim) seedWakes() {
+	ev.remaining = 0
+	for id, vs := range ev.cs.vus {
+		if vs == nil || !ev.owns(id) {
+			continue
+		}
+		if vs.isCounterDriven() && vs.total > 0 {
+			ev.remaining++
+		}
+		ev.wakeNow(id)
+	}
+}
+
+// deliverDue delivers every arrival due at ev.now and wakes each (owned)
+// receiver. All deliveries precede unit evaluation, as in the dense engine.
+// Each edge holds one armed event at its earliest undelivered arrival;
+// delivering re-arms it for the next one. Returns the deliveries performed.
+func (ev *eventSim) deliverDue() int {
+	cs := ev.cs
+	n := 0
+	for len(ev.arrivals) > 0 && ev.arrivals[0].at <= ev.now {
+		e := ev.arrivals.pop()
+		es := cs.edges[e.ei]
+		es.deliver(ev.now)
+		if na := es.nextArrival(); na >= 0 {
+			ev.arrivals.push(arrivalEvent{at: na, ei: e.ei})
+		} else {
+			es.armed = false
+		}
+		if dst := int(es.e.Dst); ev.owns(dst) {
+			ev.wakeUnit(dst)
+		}
+		n++
+	}
+	return n
+}
+
+// scanCurr steps the woken units in ascending ID order. Same-cycle wakes only
+// ever target IDs above the actor, so one forward pass over the bitset sees
+// every woken unit. Returns the number of bits consumed (visits, not steps —
+// a stale wake still marks the cycle as processed, matching the serial loop
+// which only ever lands on event cycles).
+func (ev *eventSim) scanCurr() int {
+	cs := ev.cs
+	ev.progressed = false
+	n := 0
+	if ev.currAny {
+		ev.currAny = false
+		for w := 0; w < len(ev.curr); w++ {
+			for ev.curr[w] != 0 {
+				b := bits.TrailingZeros64(ev.curr[w])
+				ev.curr[w] &^= 1 << uint(b)
+				id := w*64 + b
+				n++
+				vs := cs.vus[id]
+				if vs == nil || ev.reserved[id] > ev.now {
+					continue
+				}
+				ev.processing = id
+				ev.step(vs)
+			}
 		}
 	}
+	ev.processing = -1
+	return n
+}
+
+// nextEventAt returns the earliest pending event cycle (arrival or timer), or
+// -1 when both heaps are empty.
+func (ev *eventSim) nextEventAt() int64 {
+	next := int64(-1)
+	if len(ev.arrivals) > 0 {
+		next = ev.arrivals[0].at
+	}
+	if len(ev.timers) > 0 && (next < 0 || ev.timers[0].at < next) {
+		next = ev.timers[0].at
+	}
+	return next
+}
+
+// runEvent advances the simulation to completion, event by event.
+func (cs *cycleSim) runEvent(maxCycles int64) (*Result, error) {
+	ev := newEventSim(cs, nil)
+	cs.onSchedule = ev.onSchedule
+	cs.onPop = ev.onPop
+	ev.seedWakes()
 	for {
 		cs.now = ev.now
 		ev.processing = -1
-		// Deliver every arrival due this cycle and wake each receiver. All
-		// deliveries precede unit evaluation, as in the dense engine. Each
-		// edge holds one armed event at its earliest undelivered arrival;
-		// delivering re-arms it for the next one.
-		for len(ev.arrivals) > 0 && ev.arrivals[0].at <= ev.now {
-			e := ev.arrivals.pop()
-			es := cs.edges[e.ei]
-			es.deliver(ev.now)
-			if na := es.nextArrival(); na >= 0 {
-				ev.arrivals.push(arrivalEvent{at: na, ei: e.ei})
-			} else {
-				es.armed = false
-			}
-			ev.wakeUnit(int(es.e.Dst))
-		}
-		// Step woken units in ascending ID order. Same-cycle wakes only ever
-		// target IDs above the actor, so one forward pass over the bitset
-		// sees every woken unit.
-		ev.progressed = false
-		if ev.currAny {
-			ev.currAny = false
-			for w := 0; w < len(ev.curr); w++ {
-				for ev.curr[w] != 0 {
-					b := bits.TrailingZeros64(ev.curr[w])
-					ev.curr[w] &^= 1 << uint(b)
-					id := w*64 + b
-					vs := cs.vus[id]
-					if vs == nil || ev.reserved[id] > ev.now {
-						continue
-					}
-					ev.processing = id
-					ev.step(vs)
-				}
-			}
-		}
-		ev.processing = -1
+		ev.deliverDue()
+		ev.scanCurr()
 		if ev.remaining == 0 {
 			end := ev.now
 			if ev.lastFire > end {
@@ -191,11 +266,43 @@ func (cs *cycleSim) runEvent(maxCycles int64) (*Result, error) {
 	}
 }
 
+// runWindow advances one shard through every event cycle in [start, limit):
+// the body of runEvent's loop without its termination decisions, which the
+// parallel reducer takes globally at the window barrier. The reducer has
+// already drained cross-shard traffic into the heaps and applied barrier
+// wakes (curr bits), so the shard runs free of shared state until it returns.
+// lastActive/progAtLast record the last cycle that actually processed an
+// event, for the reducer's deadlock-cycle reconstruction.
+func (ev *eventSim) runWindow(start, limit int64) {
+	now := start
+	for now < limit {
+		ev.now = now
+		ev.cs.now = now
+		ev.processing = -1
+		acted := 0
+		for len(ev.timers) > 0 && ev.timers[0].at <= now {
+			ev.wakeNow(ev.timers.pop().id)
+			acted++
+		}
+		acted += ev.deliverDue()
+		acted += ev.scanCurr()
+		if acted > 0 {
+			ev.lastActive = now
+			ev.progAtLast = ev.progressed
+		}
+		next := ev.nextEventAt()
+		if next < 0 || next >= limit {
+			return
+		}
+		now = next
+	}
+}
+
 // onSchedule arms the edge's heap event if none is in flight. Arrivals are
 // scheduled in non-decreasing order per edge (one producer, monotone
 // latency), so an armed event always sits at the earliest undelivered
 // arrival and later arrivals are found when the edge re-arms on delivery.
-func (ev *eventSim) onSchedule(es *edgeState, at int64) {
+func (ev *eventSim) onSchedule(es *edgeState, at int64, n int) {
 	if !es.armed {
 		es.armed = true
 		ev.arrivals.push(arrivalEvent{at: at, ei: int32(es.e.ID)})
@@ -206,7 +313,7 @@ func (ev *eventSim) onSchedule(es *edgeState, at int64) {
 // is visible to the source in the same cycle only if the source is later in
 // the ID order than the acting unit, exactly as in the dense engine's
 // in-order pass.
-func (ev *eventSim) onPop(es *edgeState) {
+func (ev *eventSim) onPop(es *edgeState, n int) {
 	id := int(es.e.Src)
 	if !ev.parked[id] {
 		return
@@ -282,25 +389,30 @@ func (ev *eventSim) step(vs *vuState) {
 		if vs.done {
 			return
 		}
-		// Settle the stall interval accumulated while parked.
-		if ev.blockedSince[id] >= 0 {
-			n := ev.now - ev.blockedSince[id]
-			vs.addStall(ev.blockedCause[id], n)
-			if cs.rec != nil && n > 0 {
-				cs.rec.Record(id, ev.blockedRef[id], ev.blockedSince[id], n, ev.blockedPeer[id])
+		// Units the analytic model proves stall-free never park, so their
+		// settle and blockCause work is a no-op — skip it (identical results
+		// by construction; TestStallFreeFastPath guards the claim).
+		if !ev.noStall[id] {
+			// Settle the stall interval accumulated while parked.
+			if ev.blockedSince[id] >= 0 {
+				n := ev.now - ev.blockedSince[id]
+				vs.addStall(ev.blockedCause[id], n)
+				if cs.rec != nil && n > 0 {
+					cs.rec.Record(id, ev.blockedRef[id], ev.blockedSince[id], n, ev.blockedPeer[id])
+				}
+				ev.blockedSince[id] = -1
 			}
-			ev.blockedSince[id] = -1
-		}
-		cause, edge := cs.blockCause(vs)
-		if cause != stallNone {
-			// Park. The next deliver/pop on the blocking edge wakes us.
-			ev.blockedSince[id] = ev.now
-			ev.blockedCause[id] = cause
-			if cs.rec != nil {
-				ev.blockedRef[id], ev.blockedPeer[id] = cs.refineStall(cause, edge)
+			cause, edge := cs.blockCause(vs)
+			if cause != stallNone {
+				// Park. The next deliver/pop on the blocking edge wakes us.
+				ev.blockedSince[id] = ev.now
+				ev.blockedCause[id] = cause
+				if cs.rec != nil {
+					ev.blockedRef[id], ev.blockedPeer[id] = cs.refineStall(cause, edge)
+				}
+				ev.parked[id] = true
+				return
 			}
-			ev.parked[id] = true
-			return
 		}
 		k := ev.batchSize(vs)
 		if k <= 1 {
@@ -357,6 +469,13 @@ func (ev *eventSim) batchSize(vs *vuState) int64 {
 		return 1
 	}
 	for _, es := range vs.inFire {
+		// Cut edges under the parallel engine: the producer's done flag and
+		// buffer state live on another shard, so the cross-shard batching
+		// proof does not hold. Fire one at a time — the decision is static
+		// per edge, hence identical at every worker count.
+		if es.x != nil {
+			return 1
+		}
 		if int64(es.occ) < k {
 			k = int64(es.occ)
 		}

@@ -109,6 +109,7 @@ func TestProfileStallExactness(t *testing.T) {
 			d := compileWorkload(t, w)
 			t.Run("event", func(t *testing.T) { assertProfileExact(t, d, sim.EngineEvent, 30_000_000) })
 			t.Run("dense", func(t *testing.T) { assertProfileExact(t, d, sim.EngineDense, 30_000_000) })
+			t.Run("parallel", func(t *testing.T) { assertProfileExact(t, d, sim.EngineParallel, 30_000_000) })
 		})
 	}
 }

@@ -87,6 +87,26 @@ type Result struct {
 	// TopUnits lists the busiest units (cycle engine only), most active
 	// first — where the machine's time actually went.
 	TopUnits []UnitStat
+	// Par reports the parallel engine's sharding and synchronization
+	// counters; nil for every other engine.
+	Par *ParStats
+}
+
+// ParStats describes one parallel-engine run. Everything except
+// BarrierWaitNs is deterministic for a given design; the wait time depends
+// on scheduling and is informational only.
+type ParStats struct {
+	Shards   int   // graph shards (a function of the design, not of workers)
+	Workers  int   // goroutines the shards were multiplexed onto
+	CutEdges int   // edges crossing a shard boundary
+	Windows  int64 // conservative windows executed
+	// SerialCycles counts cycles that fell back to the merged single-threaded
+	// path because no safe window width existed (a cut edge was full or had
+	// zero lookahead headroom).
+	SerialCycles int64
+	// BarrierWaitNs is the summed wall-clock time workers spent spinning at
+	// window barriers.
+	BarrierWaitNs int64
 }
 
 // UnitStat is one unit's activity summary from a cycle-level run.
