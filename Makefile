@@ -29,11 +29,13 @@ bench:
 	$(GO) test -bench=. -benchmem
 
 # One iteration of the engine comparison (event, dense, and parallel) plus a
-# tiny compile-benchmark subset and one explicit parallel-engine row: catches
-# bit-rot in all harnesses without paying for a full timing run. The smoke
-# compile report goes to a scratch path — only `make bench` refreshes the
-# committed BENCH files. (The parallel engine's -race equivalence suite runs
-# under the `race` target, which ci already includes.)
+# tiny compile-benchmark subset — including one incremental design-store
+# replay row — and one explicit parallel-engine row: catches bit-rot in all
+# harnesses without paying for a full timing run. The smoke compile report
+# goes to a scratch path — only `make bench` refreshes the committed BENCH
+# files. (The parallel engine's -race equivalence suite and the incremental
+# cross-mode equivalence suite run under the `race` target, which ci already
+# includes.)
 benchsmoke:
 	$(GO) test -run '^$$' -bench BenchmarkCycleEngine -benchtime 1x .
 	$(GO) run ./cmd/sarabench -mode compile -smoke -compile-reps 1 \

@@ -8,9 +8,11 @@
 // small busy graph where the dense scan is near-free.
 //
 // Compile mode times the compiler itself and writes BENCH_compile.json: a
-// traversal row per registered workload for per-stage coverage, plus solver
-// rows that compare the pre-optimization MIP path (serial branch-and-bound,
-// cold LP relaxations) against the warm-started speculative search.
+// traversal row per registered workload for per-stage coverage, solver rows
+// that compare the pre-optimization MIP path (serial branch-and-bound, cold
+// LP relaxations) against the warm-started speculative search, and
+// incremental rows that replay one-knob-changed recompiles (par, arch, and
+// opt-flag changes) cold versus through the content-addressed design store.
 //
 // Usage:
 //
@@ -174,6 +176,21 @@ func compileCases() []eval.CompileBenchCase {
 	return cases
 }
 
+// incrementalCases is the BENCH_compile.json one-knob-replay set: each case
+// compiles a base configuration, flips one knob, and recompiles cold vs
+// through the design store. The solver par-change rows are the headline —
+// the frontend restores from the store and the par-invariant MIP instances
+// answer from the instance memo, so the dominant partition cost collapses.
+func incrementalCases() []eval.IncrementalBenchCase {
+	return []eval.IncrementalBenchCase{
+		{Workload: "rf", Par: 16, Scale: 16, Solver: true, MaxNodes: 60, Change: "par"},
+		{Workload: "ms", Par: 16, Scale: 16, Solver: true, MaxNodes: 60, Change: "par"},
+		{Workload: "mlp", Par: 16, Scale: 16, Change: "par"},
+		{Workload: "rf", Par: 16, Scale: 16, Solver: true, MaxNodes: 60, Change: "arch"},
+		{Workload: "ms", Par: 16, Scale: 16, Solver: true, MaxNodes: 60, Change: "opt"},
+	}
+}
+
 // smokeCases is the one-iteration `make benchsmoke` subset: a single cheap
 // solver case plus one traversal case, enough to catch harness bit-rot
 // without paying for a timing run.
@@ -184,10 +201,20 @@ func smokeCases() []eval.CompileBenchCase {
 	}
 }
 
+// smokeIncrementalCases is the benchsmoke incremental row: one cheap solver
+// par-change replay that exercises the full store path.
+func smokeIncrementalCases() []eval.IncrementalBenchCase {
+	return []eval.IncrementalBenchCase{
+		{Workload: "rf", Par: 4, Scale: 16, Solver: true, MaxNodes: 10, Change: "par"},
+	}
+}
+
 func runCompile(reps int, out string, smoke bool) error {
 	cases := compileCases()
+	incCases := incrementalCases()
 	if smoke {
 		cases = smokeCases()
+		incCases = smokeIncrementalCases()
 	}
 	rows, err := eval.CompileBench(cases, reps)
 	if err != nil {
@@ -202,10 +229,20 @@ func runCompile(reps int, out string, smoke bool) error {
 				r.Workload, r.Par, r.Scale, r.Optimized.TotalMS)
 		}
 	}
+	incRows, err := eval.IncrementalBench(incCases, reps)
+	if err != nil {
+		return err
+	}
+	for _, r := range incRows {
+		fmt.Printf("%-6s par=%-4d scale=%-4d %-11s cold %9.1fms  incr %9.1fms  speedup %.2fx  restored=%d solver-hits=%d\n",
+			r.Workload, r.Par, r.Scale, r.Change+"-change", r.Cold.TotalMS, r.Incremental.TotalMS,
+			r.Speedup, len(r.StagesRestored), r.SolverInstanceHits)
+	}
 	doc := struct {
-		Reps int                    `json:"reps"`
-		Rows []eval.CompileBenchRow `json:"rows"`
-	}{Reps: reps, Rows: rows}
+		Reps        int                        `json:"reps"`
+		Rows        []eval.CompileBenchRow     `json:"rows"`
+		Incremental []eval.IncrementalBenchRow `json:"incremental"`
+	}{Reps: reps, Rows: rows, Incremental: incRows}
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	sarac -workload mlp -par 64 [-chip 20x20|v1] [-scale 1] [-solver]
-//	      [-solver-workers N] [-dump]
+//	      [-solver-workers N] [-store DIR] [-dump]
 package main
 
 import (
@@ -18,19 +18,21 @@ import (
 	"sara/internal/arch"
 	"sara/internal/core"
 	"sara/internal/partition"
+	"sara/internal/store"
 	"sara/internal/workloads"
 )
 
 func main() {
 	var (
-		name    = flag.String("workload", "mlp", "benchmark to compile: "+strings.Join(workloads.Names(), ", "))
-		par     = flag.Int("par", 16, "total parallelization factor")
-		scale   = flag.Int("scale", 1, "problem-size divisor (1 = paper scale)")
-		chip    = flag.String("chip", "20x20", "target chip: 20x20 (HBM2) or v1 (DDR3)")
-		solver  = flag.Bool("solver", false, "use MIP solver partitioning (15% gap)")
-		workers = flag.Int("solver-workers", 0, "parallel branch-and-bound workers (0 = one per CPU, 1 = serial oracle; any setting is deterministic)")
-		dump    = flag.Bool("dump", false, "dump the virtual-unit dataflow graph")
-		dot     = flag.Bool("dot", false, "emit the dataflow graph in Graphviz DOT format")
+		name     = flag.String("workload", "mlp", "benchmark to compile: "+strings.Join(workloads.Names(), ", "))
+		par      = flag.Int("par", 16, "total parallelization factor")
+		scale    = flag.Int("scale", 1, "problem-size divisor (1 = paper scale)")
+		chip     = flag.String("chip", "20x20", "target chip: 20x20 (HBM2) or v1 (DDR3)")
+		solver   = flag.Bool("solver", false, "use MIP solver partitioning (15% gap)")
+		workers  = flag.Int("solver-workers", 0, "parallel branch-and-bound workers (0 = one per CPU, 1 = serial oracle; any setting is deterministic)")
+		storeDir = flag.String("store", "", "design-store directory: recompiles reuse every pipeline stage whose input is unchanged (empty = cold compile)")
+		dump     = flag.Bool("dump", false, "dump the virtual-unit dataflow graph")
+		dot      = flag.Bool("dot", false, "emit the dataflow graph in Graphviz DOT format")
 	)
 	flag.Parse()
 
@@ -58,6 +60,15 @@ func main() {
 		cfg.Merge.Workers = *workers
 	}
 
+	if *storeDir != "" {
+		memo, err := store.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sarac: design store disabled: %v\n", err)
+		} else {
+			cfg.Memo = memo
+		}
+	}
+
 	prog := w.Build(workloads.Params{Par: *par, Scale: *scale})
 	c, err := core.Compile(prog, cfg)
 	if err != nil {
@@ -76,6 +87,24 @@ func main() {
 		c.OptStats.XbarEliminated, c.BankStats.BanksCreated, c.BankStats.MergeVUs, c.PartStats.SplitVUs)
 	if n := c.MIPNodes(); n > 0 {
 		fmt.Printf("solver    %d branch-and-bound nodes explored\n", n)
+	}
+	if c.StageHits != nil {
+		var restored, ran []string
+		for _, st := range core.StageNames {
+			hit, ok := c.StageHits[st]
+			switch {
+			case !ok:
+			case hit:
+				restored = append(restored, st)
+			default:
+				ran = append(ran, st)
+			}
+		}
+		fmt.Printf("store     restored %d/%d stages", len(restored), len(restored)+len(ran))
+		if len(restored) > 0 {
+			fmt.Printf(" (%s)", strings.Join(restored, ", "))
+		}
+		fmt.Println()
 	}
 	var phases []string
 	for p := range c.PhaseTimes {

@@ -8,6 +8,7 @@
 // Usage:
 //
 //	sarad [-addr :8080] [-workers N] [-queue N] [-cache N] [-timeout 120s]
+//	      [-store DIR]
 //
 // Example requests:
 //
@@ -32,12 +33,13 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", runtime.NumCPU(), "max concurrently executing compile/simulate jobs")
-		queue   = flag.Int("queue", 16, "job waiting room beyond the workers (full queue => 429)")
-		cache   = flag.Int("cache", 64, "compiled designs kept in the content-addressed LRU cache")
-		timeout = flag.Duration("timeout", 120*time.Second, "default and maximum per-request timeout")
-		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", runtime.NumCPU(), "max concurrently executing compile/simulate jobs")
+		queue    = flag.Int("queue", 16, "job waiting room beyond the workers (full queue => 429)")
+		cache    = flag.Int("cache", 64, "compiled designs kept in the content-addressed LRU cache")
+		timeout  = flag.Duration("timeout", 120*time.Second, "default and maximum per-request timeout")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+		storeDir = flag.String("store", "", "persistent design-store directory: compiled designs and per-stage intermediates are content-addressed there, survive restarts, and warm the cache at startup (empty = memory-only)")
 	)
 	flag.Parse()
 
@@ -46,7 +48,13 @@ func main() {
 		QueueDepth:     *queue,
 		CacheEntries:   *cache,
 		DefaultTimeout: *timeout,
+		StoreDir:       *storeDir,
 	})
+	if err := svc.StoreError(); err != nil {
+		log.Printf("sarad: design store disabled, running memory-only: %v", err)
+	} else if *storeDir != "" {
+		log.Printf("sarad: design store at %s", *storeDir)
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 
 	errc := make(chan error, 1)

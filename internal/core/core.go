@@ -22,6 +22,7 @@ import (
 	"sara/internal/partition"
 	"sara/internal/place"
 	"sara/internal/sim"
+	"sara/internal/store"
 )
 
 // Config selects the target and per-pass options.
@@ -36,6 +37,12 @@ type Config struct {
 	// SkipPlace leaves the design unplaced; the simulator then charges a
 	// fixed default stream distance. Useful for fast sweeps.
 	SkipPlace bool
+	// Memo, when non-nil, switches Compile to the incremental driver: each
+	// stage's input is content-addressed and stage results are memoized
+	// through the design store, so a recompile re-runs only the stages whose
+	// inputs actually changed. Output is bit-identical to Memo == nil; only
+	// PhaseTimes and StageHits differ.
+	Memo *store.Store
 }
 
 // DefaultConfig returns the paper's default compiler configuration: all
@@ -60,8 +67,14 @@ type Compiled struct {
 	Placement *place.Placement
 	Spec      *arch.Spec
 
-	// PhaseTimes records wall-clock per compiler phase.
+	// PhaseTimes records wall-clock per compiler phase. An incremental
+	// compile has entries only for the stages that ran, plus "restore" for
+	// the snapshot-decode time of the reused prefix.
 	PhaseTimes map[string]time.Duration
+	// StageHits, set only by incremental compiles (Config.Memo), records per
+	// stage whether its result was restored from the design store (true) or
+	// recomputed (false).
+	StageHits map[string]bool
 }
 
 // Compile runs the full flow on a validated program.
@@ -76,6 +89,17 @@ func Compile(prog *ir.Program, cfg Config) (*Compiled, error) {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	c := &Compiled{Prog: prog, Spec: cfg.Spec, PhaseTimes: map[string]time.Duration{}}
+	if cfg.Memo != nil {
+		pc := &progCtx{
+			prog:        prog,
+			digestPar:   store.ProgramDigest(prog, true),
+			digestNoPar: store.ProgramDigest(prog, false),
+		}
+		if err := compileIncremental(pc, cfg, c); err != nil {
+			return nil, err
+		}
+		return c, nil
+	}
 	phase := func(name string, f func() error) error {
 		t0 := time.Now()
 		err := f()

@@ -1,0 +1,59 @@
+package dfg
+
+import "sort"
+
+// Adjacency is an exported copy of a Graph's out/in edge-ID lists, used by
+// the design store to serialize and restore a graph exactly. Adjacency slice
+// ORDER is part of graph identity: RemoveEdge splices in place while
+// ReattachSrc/ReattachDst re-append at the end, so two graphs with identical
+// VUs and Edges but different mutation histories can differ here, and every
+// downstream pass that iterates OutEdges/InEdges would observe that order.
+type Adjacency struct {
+	// VU lists the unit IDs that have an adjacency entry, ascending. A unit
+	// can have an entry with an empty list (all edges removed) — distinct
+	// from having no entry at all (never touched) — so the key set is
+	// recorded explicitly rather than inferred from Out/In.
+	OutVU []VUID
+	Out   [][]EdgeID
+	InVU  []VUID
+	In    [][]EdgeID
+}
+
+// SnapshotAdjacency captures the graph's adjacency maps, including entries
+// with empty lists, in ascending VUID order.
+func (g *Graph) SnapshotAdjacency() Adjacency {
+	var a Adjacency
+	a.OutVU, a.Out = snapshotAdj(g.out)
+	a.InVU, a.In = snapshotAdj(g.in)
+	return a
+}
+
+func snapshotAdj(m map[VUID][]EdgeID) ([]VUID, [][]EdgeID) {
+	ids := make([]VUID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	lists := make([][]EdgeID, len(ids))
+	for i, id := range ids {
+		lists[i] = append([]EdgeID(nil), m[id]...)
+	}
+	return ids, lists
+}
+
+// RestoreAdjacency replaces the graph's adjacency maps with the snapshot's
+// contents. The snapshot is copied; the caller keeps ownership.
+func (g *Graph) RestoreAdjacency(a Adjacency) {
+	g.out = restoreAdj(a.OutVU, a.Out)
+	g.in = restoreAdj(a.InVU, a.In)
+}
+
+func restoreAdj(ids []VUID, lists [][]EdgeID) map[VUID][]EdgeID {
+	m := make(map[VUID][]EdgeID, len(ids))
+	for i, id := range ids {
+		l := make([]EdgeID, len(lists[i]))
+		copy(l, lists[i])
+		m[id] = l
+	}
+	return m
+}

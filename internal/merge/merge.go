@@ -44,6 +44,9 @@ type Options struct {
 	// DisableMerging turns the pass into the identity assignment (one PU per
 	// VU), the baseline for the merge-effectiveness ablation (Fig 10).
 	DisableMerging bool
+	// Cache memoizes per-group packing results and solver bases across
+	// compiles (nil = no memoization).
+	Cache partition.SolverCache
 }
 
 // PU is one physical-unit slot of the merged design.
@@ -277,25 +280,10 @@ func packGroup(g *dfg.Graph, spec *arch.Spec, opts Options, group []*dfg.VU, add
 		return in.Conflicts[a][1] < in.Conflicts[b][1]
 	})
 
-	var res *partition.Result
-	var err error
-	switch opts.Algo {
-	case partition.AlgoSolver:
-		res, err = partition.Solver(in, partition.SolverOptions{
-			Gap: opts.Gap, MaxNodes: opts.MaxNodes, TimeLimit: opts.TimeLimit,
-			Workers: opts.Workers, ColdLP: opts.ColdLP,
-		})
-	case partition.AlgoBFSForward:
-		res, err = partition.Traversal(in, partition.BFSForward)
-	case partition.AlgoBFSBackward:
-		res, err = partition.Traversal(in, partition.BFSBackward)
-	case partition.AlgoDFSForward:
-		res, err = partition.Traversal(in, partition.DFSForward)
-	case partition.AlgoDFSBackward:
-		res, err = partition.Traversal(in, partition.DFSBackward)
-	default:
-		res, err = partition.BestTraversal(in)
-	}
+	res, err := partition.RunInstance(in, opts.Algo, partition.SolverOptions{
+		Gap: opts.Gap, MaxNodes: opts.MaxNodes, TimeLimit: opts.TimeLimit,
+		Workers: opts.Workers, ColdLP: opts.ColdLP,
+	}, opts.Cache)
 	if err != nil {
 		return 0, fmt.Errorf("merge: packing group of %d: %w", len(group), err)
 	}

@@ -56,6 +56,12 @@ func NewProblem(n int) *Problem {
 // NumVars returns the variable count.
 func (p *Problem) NumVars() int { return p.n }
 
+// NumRows returns the constraint row count. Together with NumVars it
+// identifies a formulation's LP shape for basis-seeding purposes
+// (Options.SeedBasis): two problems with equal shape get structurally
+// compatible root relaxations.
+func (p *Problem) NumRows() int { return len(p.rowRHS) }
+
 // SetObj sets the minimization objective coefficient of variable i.
 func (p *Problem) SetObj(i int, v float64) { p.obj[i] = v }
 
@@ -138,6 +144,15 @@ type Options struct {
 	// simplex from an empty tableau. This is the pre-warm-start baseline,
 	// kept selectable for benchmarking (cmd/sarabench).
 	ColdLP bool
+	// SeedBasis, when non-nil, seeds the ROOT node's LP relaxation with a
+	// basis captured from a previously solved problem of the same shape
+	// (incremental recompilation: the formulation delta between two compile
+	// requests is often empty or tiny). The seed is only a hint:
+	// lp.SolveFrom re-factorizes it against this problem's tableau and falls
+	// back to a cold solve whenever it is singular or dual infeasible, so a
+	// stale or foreign basis can never change the solution — only the pivot
+	// count. Ignored under ColdLP, which bypasses bases entirely.
+	SeedBasis lp.Basis
 }
 
 // Solution is a solve result.
@@ -154,6 +169,10 @@ type Solution struct {
 	// WarmStarted counts explored nodes whose LP relaxation was seeded from
 	// the parent's optimal basis (lp.SolveFrom) rather than solved cold.
 	WarmStarted int
+	// RootBasis is the optimal basis of the root LP relaxation (nil when the
+	// root was solved cold or yielded no clean basis). Callers hand it to a
+	// later Solve of a same-shaped problem via Options.SeedBasis.
+	RootBasis lp.Basis
 }
 
 // ErrInfeasible is returned when no integer-feasible point exists.
@@ -229,13 +248,18 @@ func (p *Problem) Solve(opts Options) (*Solution, error) {
 		spec.noteIncumbent(best)
 	}
 
-	h := &nodeHeap{{id: 0, bound: math.Inf(-1), lo: map[int]float64{}, hi: map[int]float64{}}}
+	var seed lp.Basis
+	if rx.warm && opts.SeedBasis != nil {
+		seed = append(lp.Basis(nil), opts.SeedBasis...)
+	}
+	h := &nodeHeap{{id: 0, bound: math.Inf(-1), lo: map[int]float64{}, hi: map[int]float64{}, basis: seed}}
 	heap.Init(h)
 	nextID := int64(1)
 	nodes, warmed := 0, 0
 	rootBound := math.Inf(-1)
 	haveRoot := false
 	limited := false
+	var rootBasis lp.Basis
 
 	for h.Len() > 0 {
 		if nodes >= opts.MaxNodes || (!deadline.IsZero() && time.Now().After(deadline)) {
@@ -250,7 +274,7 @@ func (p *Problem) Solve(opts Options) (*Solution, error) {
 			globalBound = math.Inf(-1)
 		}
 		if bestX != nil && gapOK(best, globalBound, opts.Gap) {
-			return p.finish(Optimal, bestX, best, globalBound, nodes, warmed), nil
+			return p.finish(Optimal, bestX, best, globalBound, nodes, warmed).withRootBasis(rootBasis), nil
 		}
 		if nd.bound >= best-1e-9 {
 			if spec != nil {
@@ -276,6 +300,7 @@ func (p *Problem) Solve(opts Options) (*Solution, error) {
 		if !haveRoot {
 			rootBound = sol.Obj
 			haveRoot = true
+			rootBasis = sol.Basis
 		}
 		if sol.Obj >= best-1e-9 {
 			continue
@@ -327,9 +352,9 @@ func (p *Problem) Solve(opts Options) (*Solution, error) {
 	}
 	if bestX == nil {
 		if h.Len() == 0 && nodes > 0 {
-			return p.finish(Infeasible, nil, math.Inf(1), bound, nodes, warmed), ErrInfeasible
+			return p.finish(Infeasible, nil, math.Inf(1), bound, nodes, warmed).withRootBasis(rootBasis), ErrInfeasible
 		}
-		return p.finish(Limit, nil, math.Inf(1), bound, nodes, warmed), errors.New("mip: limit reached without incumbent")
+		return p.finish(Limit, nil, math.Inf(1), bound, nodes, warmed).withRootBasis(rootBasis), errors.New("mip: limit reached without incumbent")
 	}
 	// A limit-stopped search returns the incumbent as Feasible (best-effort)
 	// unless the remaining open-node bound already proves it within the
@@ -338,7 +363,12 @@ func (p *Problem) Solve(opts Options) (*Solution, error) {
 	if limited && !gapOK(best, bound, opts.Gap) {
 		status = Feasible
 	}
-	return p.finish(status, bestX, best, bound, nodes, warmed), nil
+	return p.finish(status, bestX, best, bound, nodes, warmed).withRootBasis(rootBasis), nil
+}
+
+func (s *Solution) withRootBasis(b lp.Basis) *Solution {
+	s.RootBasis = b
+	return s
 }
 
 func (p *Problem) finish(st Status, x []float64, obj, bound float64, nodes, warmed int) *Solution {

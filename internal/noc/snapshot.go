@@ -1,0 +1,43 @@
+package noc
+
+import "sort"
+
+// LinkLoad is one directed link's accumulated traffic, used by the design
+// store to serialize a Grid's load map.
+type LinkLoad struct {
+	From, To Coord
+	Load     float64
+}
+
+// SnapshotTraffic returns every non-zero-entry link load in deterministic
+// (from, to) row-major order. Zero-valued entries present in the map are
+// included: AddTraffic creates them and Congestion iterates the map, so they
+// are part of the model's observable state.
+func (g *Grid) SnapshotTraffic() []LinkLoad {
+	out := make([]LinkLoad, 0, len(g.load))
+	for l, w := range g.load {
+		out = append(out, LinkLoad{From: l.from, To: l.to, Load: w})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.From.R != b.From.R {
+			return a.From.R < b.From.R
+		}
+		if a.From.C != b.From.C {
+			return a.From.C < b.From.C
+		}
+		if a.To.R != b.To.R {
+			return a.To.R < b.To.R
+		}
+		return a.To.C < b.To.C
+	})
+	return out
+}
+
+// RestoreTraffic replaces the grid's load map with the given link loads.
+func (g *Grid) RestoreTraffic(loads []LinkLoad) {
+	g.load = make(map[link]float64, len(loads))
+	for _, ll := range loads {
+		g.load[link{from: ll.From, to: ll.To}] = ll.Load
+	}
+}

@@ -57,6 +57,9 @@ type ApplyOptions struct {
 	// MaxOps, MaxIn, MaxOut describe the PCU; zero values take the usual
 	// Plasticine limits (6 stages, 4 in, 4 out).
 	MaxOps, MaxIn, MaxOut int
+	// Cache memoizes per-instance partitioning results and solver bases
+	// across compiles (nil = no memoization; every compile is cold).
+	Cache SolverCache
 }
 
 func (o ApplyOptions) limits() (int, int, int) {
@@ -261,23 +264,10 @@ func accessPartition(g *dfg.Graph, u *dfg.VU, opOf map[ir.AccessID]int, assign [
 }
 
 func runAlgo(in *Instance, opts ApplyOptions) (*Result, error) {
-	switch opts.Algo {
-	case AlgoBFSForward:
-		return Traversal(in, BFSForward)
-	case AlgoBFSBackward:
-		return Traversal(in, BFSBackward)
-	case AlgoDFSForward:
-		return Traversal(in, DFSForward)
-	case AlgoDFSBackward:
-		return Traversal(in, DFSBackward)
-	case AlgoSolver:
-		return Solver(in, SolverOptions{
-			Gap: opts.Gap, MaxNodes: opts.MaxNodes, TimeLimit: opts.TimeLimit,
-			Workers: opts.Workers, ColdLP: opts.ColdLP,
-		})
-	default:
-		return BestTraversal(in)
-	}
+	return RunInstance(in, opts.Algo, SolverOptions{
+		Gap: opts.Gap, MaxNodes: opts.MaxNodes, TimeLimit: opts.TimeLimit,
+		Workers: opts.Workers, ColdLP: opts.ColdLP,
+	}, opts.Cache)
 }
 
 // accessByName resolves an access by its unique name (VMU edge ports carry

@@ -1,0 +1,125 @@
+package partition
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"time"
+
+	"sara/internal/lp"
+)
+
+// SolverCache memoizes partitioning work across compiles. The compute
+// partitioner and the global merger both reduce to solving Instances, and an
+// Instance is content-addressable: it captures the complete input of
+// Traversal/Solver (node costs, edges, arity limits, conflicts, alpha) and
+// nothing else. Par-factor changes, in particular, regenerate the *same*
+// instances — lowering unrolls more copies of identical blocks — so a cache
+// hit here skips the dominant cost of a recompile even though the lowered
+// graph itself changed.
+//
+// Implementations must be safe for concurrent use and must return results
+// that the caller may mutate (i.e. defensive copies). The interface lives
+// here rather than in internal/store so that partition does not depend on
+// the store package (store imports partition for the Result type).
+type SolverCache interface {
+	// LookupResult returns the memoized result for an instance content key.
+	LookupResult(key string) (*Result, bool)
+	// StoreResult memoizes a result under an instance content key.
+	StoreResult(key string, r *Result)
+	// LookupBasis returns a previously captured root-LP basis for a
+	// formulation shape key (see SolverOptions.Cache). Bases are hints, not
+	// results: a wrong basis changes pivot counts, never solutions.
+	LookupBasis(shape string) (lp.Basis, bool)
+	// StoreBasis records the root-LP basis captured after a solve.
+	StoreBasis(shape string, b lp.Basis)
+}
+
+// ContentKey returns a canonical content hash of the instance plus the
+// algorithm and the solution-relevant solver options. Workers and ColdLP are
+// deliberately excluded: the solver is bit-identical across worker counts
+// and warm/cold LP modes (the PR 3 equivalence suites), so results cached
+// under one mode are valid under every other.
+func (in *Instance) ContentKey(algo Algorithm, sopts SolverOptions) string {
+	var b []byte
+	app := func(x int64) { b = binary.AppendVarint(b, x) }
+	appPairs := func(ps [][2]int) {
+		app(int64(len(ps)))
+		for _, p := range ps {
+			app(int64(p[0]))
+			app(int64(p[1]))
+		}
+	}
+	appInts := func(xs []int) {
+		if xs == nil {
+			app(-1)
+			return
+		}
+		app(int64(len(xs)))
+		for _, x := range xs {
+			app(int64(x))
+		}
+	}
+	b = append(b, "sara-partition-instance-1\x00"...)
+	app(int64(algo))
+	app(int64(in.N))
+	appInts(in.Ops)
+	appPairs(in.Edges)
+	appPairs(in.OrderEdges)
+	app(int64(in.MaxOps))
+	app(int64(in.MaxIn))
+	app(int64(in.MaxOut))
+	appInts(in.ExtIn)
+	appInts(in.ExtOut)
+	appPairs(in.Conflicts)
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(in.Alpha))
+	if algo == AlgoSolver {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(sopts.Gap))
+		app(int64(sopts.MaxNodes))
+		app(int64(sopts.TimeLimit / time.Nanosecond))
+		app(int64(sopts.MaxParts))
+		app(int64(sopts.MaxN))
+	}
+	s := sha256.Sum256(b)
+	return hex.EncodeToString(s[:])
+}
+
+// RunInstance solves one partitioning instance with the selected algorithm,
+// memoized through cache when non-nil. It is the single entry point shared
+// by the compute-partitioning pass (Apply) and the global merger
+// (merge.Merge); cached results include MIPNodes, so reported solver stats
+// reproduce bit-identically on a warm cache.
+func RunInstance(in *Instance, algo Algorithm, sopts SolverOptions, cache SolverCache) (*Result, error) {
+	if cache == nil {
+		return runInstance(in, algo, sopts)
+	}
+	key := in.ContentKey(algo, sopts)
+	if r, ok := cache.LookupResult(key); ok {
+		return r, nil
+	}
+	sopts.Cache = cache // basis seeding on the miss path
+	r, err := runInstance(in, algo, sopts)
+	if err != nil {
+		return nil, err
+	}
+	cache.StoreResult(key, r)
+	return r, nil
+}
+
+func runInstance(in *Instance, algo Algorithm, sopts SolverOptions) (*Result, error) {
+	switch algo {
+	case AlgoBFSForward:
+		return Traversal(in, BFSForward)
+	case AlgoBFSBackward:
+		return Traversal(in, BFSBackward)
+	case AlgoDFSForward:
+		return Traversal(in, DFSForward)
+	case AlgoDFSBackward:
+		return Traversal(in, DFSBackward)
+	case AlgoSolver:
+		return Solver(in, sopts)
+	default:
+		return BestTraversal(in)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"sara/internal/lp"
 	"sara/internal/mip"
 )
 
@@ -27,6 +28,13 @@ type SolverOptions struct {
 	Workers int
 	// ColdLP disables warm-started LP relaxations (benchmark baseline).
 	ColdLP bool
+	// Cache, when non-nil, supplies and collects root-LP bases keyed by
+	// formulation shape (NumVars × NumRows): a recompile whose formulation
+	// delta is small — often empty rows-and-columns-wise even when
+	// coefficients moved — reuses the previous root basis through
+	// lp.SolveFrom instead of a cold two-phase solve. Never consulted under
+	// ColdLP. RunInstance sets this automatically on memo misses.
+	Cache SolverCache
 }
 
 // Solver partitions the instance with the Table III mixed-integer program:
@@ -241,6 +249,14 @@ func Solver(in *Instance, opts SolverOptions) (*Result, error) {
 	if opts.MaxNodes == 0 {
 		opts.MaxNodes = 20000
 	}
+	var seed lp.Basis
+	shape := ""
+	if opts.Cache != nil && !opts.ColdLP {
+		shape = fmt.Sprintf("partition-shape:v%d:r%d", m.NumVars(), m.NumRows())
+		if b, ok := opts.Cache.LookupBasis(shape); ok {
+			seed = b
+		}
+	}
 	sol, err := m.Solve(mip.Options{
 		Gap:       opts.Gap,
 		MaxNodes:  opts.MaxNodes,
@@ -248,9 +264,13 @@ func Solver(in *Instance, opts SolverOptions) (*Result, error) {
 		WarmStart: ws,
 		Workers:   opts.Workers,
 		ColdLP:    opts.ColdLP,
+		SeedBasis: seed,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("partition: solver: %w", err)
+	}
+	if shape != "" && sol.RootBasis != nil {
+		opts.Cache.StoreBasis(shape, sol.RootBasis)
 	}
 	assign := make([]int, N)
 	for i := 0; i < N; i++ {

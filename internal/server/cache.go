@@ -86,6 +86,14 @@ func (c *Cache) GetOrCompile(key string, compile func() (*core.Compiled, error))
 	return f.c, false, f.err
 }
 
+// Seed inserts a pre-built design (a persisted artifact replayed at
+// startup) without touching the hit/miss counters.
+func (c *Cache) Seed(key string, compiled *core.Compiled) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.insert(key, compiled)
+}
+
 // insert adds an entry and evicts beyond capacity. Caller holds mu.
 func (c *Cache) insert(key string, compiled *core.Compiled) {
 	if el, ok := c.entries[key]; ok {

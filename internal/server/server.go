@@ -31,6 +31,7 @@ import (
 	"sara/internal/partition"
 	"sara/internal/profile"
 	"sara/internal/sim"
+	"sara/internal/store"
 	"sara/internal/workloads"
 	"sara/spatial"
 )
@@ -50,6 +51,14 @@ type Options struct {
 	DefaultTimeout time.Duration
 	// MaxBodyBytes bounds request bodies (default 8 MiB).
 	MaxBodyBytes int64
+	// StoreDir roots the persistent design store. Compiled artifacts and
+	// per-stage intermediates are content-addressed there, surviving
+	// restarts: at startup the LRU cache is warmed from persisted final
+	// artifacts, and every compile reuses unchanged pipeline prefixes. Empty
+	// means memory-only (still incremental within the process). A directory
+	// that cannot be opened degrades gracefully to memory-only; StoreError
+	// reports why.
+	StoreDir string
 }
 
 func (o Options) withDefaults() Options {
@@ -80,6 +89,10 @@ type Server struct {
 	pool    *Pool
 	metrics *Metrics
 	mux     *http.ServeMux
+	store   *store.Store
+	// storeErr records why Options.StoreDir could not be opened (the server
+	// then runs memory-only); nil otherwise.
+	storeErr error
 
 	// jobGate, when set, runs at the start of every pooled job; tests use it
 	// to hold workers busy deterministically.
@@ -96,9 +109,19 @@ func New(opts Options) *Server {
 		metrics: NewMetrics(),
 		mux:     http.NewServeMux(),
 	}
+	if opts.StoreDir != "" {
+		s.store, s.storeErr = store.Open(opts.StoreDir)
+	}
+	if s.store == nil {
+		// Memory-only fallback: Open("") cannot fail.
+		s.store, _ = store.Open("")
+	}
+	warmed := s.warmCache()
 	s.metrics.Gauge("sarad_queue_depth", func() int64 { return int64(s.pool.QueueDepth()) })
 	s.metrics.Gauge("sarad_workers_busy", func() int64 { return s.pool.Active() })
 	s.metrics.Gauge("sarad_cache_entries", func() int64 { return int64(s.cache.Stats().Entries) })
+	s.metrics.Add("sarad_cache_warmed_total", int64(warmed))
+	s.registerStoreMetrics()
 	s.mux.HandleFunc("/v1/run", s.instrument("/v1/run", s.handleRun))
 	s.mux.HandleFunc("/v1/compile", s.instrument("/v1/compile", s.handleCompile))
 	s.mux.HandleFunc("/v1/workloads", s.instrument("/v1/workloads", s.handleWorkloads))
@@ -112,6 +135,76 @@ func New(opts Options) *Server {
 	})
 	return s
 }
+
+// warmCache replays persisted final artifacts into the LRU at startup, so a
+// restarted sarad serves its recent designs without recompiling. Undecodable
+// entries (e.g. from an interrupted write) are skipped. Returns the number
+// of designs restored.
+func (s *Server) warmCache() int {
+	keys := s.store.ListKeys(store.FinalStage)
+	warmed := 0
+	for _, key := range keys {
+		if warmed >= s.opts.CacheEntries {
+			break
+		}
+		data, ok := s.store.Get(store.FinalStage, key)
+		if !ok {
+			continue
+		}
+		a, err := store.DecodeArtifact(data)
+		if err != nil {
+			continue
+		}
+		s.cache.Seed(key, &core.Compiled{
+			Prog:       a.Prog,
+			Spec:       a.Spec,
+			Plan:       a.State.Plan,
+			Lowered:    a.State.Lowered,
+			OptStats:   a.State.OptStats,
+			BankStats:  a.State.BankStats,
+			PartStats:  a.State.PartStats,
+			Merged:     a.State.Merged,
+			Placement:  a.State.Placement,
+			PhaseTimes: a.PhaseTimes,
+		})
+		warmed++
+	}
+	return warmed
+}
+
+// registerStoreMetrics exposes the design store's per-stage cache traffic
+// and disk footprint as gauges.
+func (s *Server) registerStoreMetrics() {
+	stages := append(append([]string(nil), core.StageNames...), store.FinalStage, "solver")
+	for _, stage := range stages {
+		stage := stage
+		name := metricName(stage)
+		s.metrics.Gauge("sarad_store_stage_hits_"+name, func() int64 {
+			return s.store.Stats().Stages[stage].Hits
+		})
+		s.metrics.Gauge("sarad_store_stage_misses_"+name, func() int64 {
+			return s.store.Stats().Stages[stage].Misses
+		})
+		s.metrics.Gauge("sarad_store_stage_bytes_read_"+name, func() int64 {
+			return s.store.Stats().Stages[stage].BytesRead
+		})
+		s.metrics.Gauge("sarad_store_stage_bytes_written_"+name, func() int64 {
+			return s.store.Stats().Stages[stage].BytesWritten
+		})
+	}
+	s.metrics.Gauge("sarad_store_solver_hits", func() int64 { return s.store.Stats().SolverHits })
+	s.metrics.Gauge("sarad_store_solver_misses", func() int64 { return s.store.Stats().SolverMiss })
+	s.metrics.Gauge("sarad_store_basis_hits", func() int64 { return s.store.Stats().BasisHits })
+	s.metrics.Gauge("sarad_store_basis_misses", func() int64 { return s.store.Stats().BasisMiss })
+	s.metrics.Gauge("sarad_store_mem_entries", func() int64 { return int64(s.store.Stats().MemEntries) })
+	s.metrics.Gauge("sarad_store_disk_entries", func() int64 { return int64(s.store.Stats().DiskEntries) })
+	s.metrics.Gauge("sarad_store_disk_bytes", func() int64 { return s.store.Stats().DiskBytes })
+}
+
+// StoreError reports why the configured store directory could not be opened
+// (the server degraded to a memory-only store); nil when the store is
+// healthy.
+func (s *Server) StoreError() error { return s.storeErr }
 
 // Handler returns the HTTP handler tree.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -246,9 +339,17 @@ type RunResponse struct {
 	PhaseMS map[string]float64 `json:"phase_ms,omitempty"`
 	// MIPNodesExplored counts branch-and-bound nodes across the compile's
 	// solver invocations; zero under traversal partitioning/merging.
-	MIPNodesExplored int             `json:"mip_nodes_explored,omitempty"`
-	Resources        ResourcesJSON   `json:"resources"`
-	Result           *sim.ResultJSON `json:"result,omitempty"`
+	MIPNodesExplored int `json:"mip_nodes_explored,omitempty"`
+	// StageCache reports, per pipeline stage of this request's compile,
+	// whether the stage was restored from the design store (true) or
+	// recomputed (false). An LRU cache hit repeats the original compile's
+	// flags.
+	StageCache map[string]bool `json:"stage_cache,omitempty"`
+	// Store is a point-in-time snapshot of the design store's per-stage
+	// hit/miss/byte counters and disk footprint.
+	Store     *store.Stats    `json:"store,omitempty"`
+	Resources ResourcesJSON   `json:"resources"`
+	Result    *sim.ResultJSON `json:"result,omitempty"`
 	// Profile is the analyzed timeline profile, present when the request set
 	// profile: true.
 	Profile *profile.ReportJSON `json:"profile,omitempty"`
@@ -486,10 +587,20 @@ func (s *Server) execute(ctx context.Context, req *RunRequest, spec *arch.Spec, 
 		if err != nil {
 			return nil, err
 		}
-		c, err := core.Compile(prog, req.Options.config(spec))
+		cfg := req.Options.config(spec)
+		cfg.Memo = s.store
+		c, err := core.Compile(prog, cfg)
 		if err != nil {
 			return nil, err
 		}
+		// Persist the finished design under the request's content address so
+		// a restarted server can warm its LRU without recompiling.
+		s.store.Put(store.FinalStage, key, store.EncodeArtifact(&store.Artifact{
+			Prog:       c.Prog,
+			Spec:       c.Spec,
+			State:      snapshotOf(c),
+			PhaseTimes: c.PhaseTimes,
+		}))
 		s.metrics.Observe("sarad_compile_seconds", c.CompileTime().Seconds())
 		for phase, d := range c.PhaseTimes {
 			s.metrics.Observe("sarad_compile_phase_seconds_"+phase, d.Seconds())
@@ -520,6 +631,9 @@ func (s *Server) execute(ctx context.Context, req *RunRequest, spec *arch.Spec, 
 		resp.PhaseMS[phase] = float64(d.Microseconds()) / 1e3
 	}
 	resp.MIPNodesExplored = compiled.MIPNodes()
+	resp.StageCache = compiled.StageHits
+	storeStats := s.store.Stats()
+	resp.Store = &storeStats
 	if !simulate {
 		return resp, http.StatusOK, nil
 	}
@@ -585,6 +699,20 @@ func (s *Server) execute(ctx context.Context, req *RunRequest, spec *arch.Spec, 
 	}
 	resp.Result = result.JSON(spec)
 	return resp, http.StatusOK, nil
+}
+
+// snapshotOf packs a compiled design's pipeline state for artifact
+// serialization.
+func snapshotOf(c *core.Compiled) *store.Snapshot {
+	return &store.Snapshot{
+		Plan:      c.Plan,
+		Lowered:   c.Lowered,
+		OptStats:  c.OptStats,
+		BankStats: c.BankStats,
+		PartStats: c.PartStats,
+		Merged:    c.Merged,
+		Placement: c.Placement,
+	}
 }
 
 // metricName converts a stall-cause label to a Prometheus-safe name segment.

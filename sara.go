@@ -31,6 +31,7 @@ import (
 	"sara/internal/partition"
 	"sara/internal/rda"
 	"sara/internal/sim"
+	"sara/internal/store"
 	"sara/plasticine"
 	"sara/spatial"
 )
@@ -100,6 +101,41 @@ func WithoutMerging() Option {
 // distance. Useful for fast design-space sweeps.
 func WithoutPlacement() Option {
 	return func(c *core.Config) { c.SkipPlace = true }
+}
+
+// DesignStore is a persistent, content-addressed cache of per-stage compiler
+// results. Compiling through one (WithDesignStore) switches Compile to the
+// incremental driver: each pipeline stage's input is content-addressed and a
+// recompile re-runs only the stages whose inputs actually changed — the
+// output is bit-identical to a cold compile. With a directory, the store
+// survives restarts; with an empty dir it memoizes within the process only.
+type DesignStore struct {
+	s *store.Store
+}
+
+// OpenDesignStore opens (creating if needed) a design store rooted at dir.
+// An empty dir yields a memory-only store. A directory written by a
+// different on-disk format version refuses to open.
+func OpenDesignStore(dir string) (*DesignStore, error) {
+	s, err := store.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &DesignStore{s: s}, nil
+}
+
+// StoreStats is a point-in-time snapshot of design-store counters: per-stage
+// cache hits/misses/bytes, solver-instance memo traffic, and disk usage.
+type StoreStats = store.Stats
+
+// Stats returns the store's counters.
+func (ds *DesignStore) Stats() StoreStats { return ds.s.Stats() }
+
+// WithDesignStore compiles incrementally through ds. Sequential recompiles
+// that change one knob (a parallelization factor, an arch parameter, an
+// optimization flag) reuse every stage whose input is unchanged.
+func WithDesignStore(ds *DesignStore) Option {
+	return func(c *core.Config) { c.Memo = ds.s }
 }
 
 // Design is a compiled program ready for simulation.
@@ -199,6 +235,11 @@ func (d *Design) Describe() string { return d.c.Plan.Describe() }
 
 // PhaseTimes exposes per-compiler-phase wall-clock durations.
 func (d *Design) PhaseTimes() map[string]time.Duration { return d.c.PhaseTimes }
+
+// StageHits reports, for an incremental compile (WithDesignStore), which
+// pipeline stages were restored from the design store (true) rather than
+// recomputed (false). Nil for cold compiles.
+func (d *Design) StageHits() map[string]bool { return d.c.StageHits }
 
 // re-export for facade users that never touch internal packages directly.
 var _ = consistency.Options{}
