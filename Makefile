@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench benchsmoke profilesmoke serve
+.PHONY: ci fmt vet build test race bench benchsmoke profilesmoke servesmoke serve
 
-ci: fmt vet build race benchsmoke profilesmoke
+ci: fmt vet build race benchsmoke profilesmoke servesmoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -25,7 +25,8 @@ race:
 	$(GO) test -race -timeout 20m ./...
 
 bench:
-	$(GO) run ./cmd/sarabench -o BENCH_sim.json -compile-o BENCH_compile.json
+	$(GO) run ./cmd/sarabench -o BENCH_sim.json -compile-o BENCH_compile.json \
+		-serve-o BENCH_serve.json
 	$(GO) test -bench=. -benchmem
 
 # One iteration of the engine comparison (event, dense, and parallel) plus a
@@ -41,6 +42,16 @@ benchsmoke:
 	$(GO) run ./cmd/sarabench -mode compile -smoke -compile-reps 1 \
 		-compile-o $${TMPDIR:-/tmp}/BENCH_compile_smoke.json
 	$(GO) run ./cmd/sarasim -workload rf -par 16 -scale 64 -engine parallel >/dev/null
+
+# Cluster serving smoke: boots a tiny in-process 3-node sarad cluster under
+# the race detector and replays a short cut of every request mix (hot/cold
+# cache, mixed engines, profile toggle, incremental recompiles) through the
+# consistent-hash proxy path. Any failed request fails the target. The
+# cluster fault-injection and cross-node single-flight suites run under the
+# `race` target, which ci already includes.
+servesmoke:
+	$(GO) run -race ./cmd/sarabench -mode serve -smoke \
+		-serve-o $${TMPDIR:-/tmp}/BENCH_serve_smoke.json
 
 # End-to-end profiler smoke: one profiled run producing both artifacts —
 # the stall-attribution report and a Chrome trace-event export.

@@ -14,10 +14,18 @@
 // incremental rows that replay one-knob-changed recompiles (par, arch, and
 // opt-flag changes) cold versus through the content-addressed design store.
 //
+// Serve mode benchmarks the serving layer itself: it boots an in-process
+// 3-node sarad cluster (consistent-hash sharded, persistent stores in a
+// scratch directory) and replays realistic request mixes — hot cache, cold
+// cache, mixed engines, profile on/off, and one-knob incremental
+// recompiles — recording p50/p99 latency, RPS, and cluster-wide
+// unique-compile counts to BENCH_serve.json.
+//
 // Usage:
 //
-//	sarabench [-mode all|sim|compile] [-reps 10] [-o BENCH_sim.json]
+//	sarabench [-mode all|sim|compile|serve] [-reps 10] [-o BENCH_sim.json]
 //	          [-compile-reps 1] [-compile-o BENCH_compile.json] [-smoke]
+//	          [-serve-o BENCH_serve.json] [-serve-nodes 3] [-serve-clients 8]
 package main
 
 import (
@@ -337,19 +345,53 @@ func runSim(reps int, out string) error {
 	return nil
 }
 
+// runServe boots the in-process cluster load generator and writes
+// BENCH_serve.json.
+func runServe(nodes, clients int, out string, smoke bool) error {
+	rep, err := eval.ServeBench(eval.ServeBenchOptions{Nodes: nodes, Clients: clients, Smoke: smoke})
+	if err != nil {
+		return err
+	}
+	for _, r := range rep.Rows {
+		fmt.Printf("%-22s %4d reqs  p50 %8.2fms  p99 %8.2fms  %8.1f rps  compiles=%-3d proxied=%-3d cache-hits=%-3d store=%d",
+			r.Mix, r.Requests, r.P50MS, r.P99MS, r.RPS, r.UniqueCompiles, r.Proxied, r.CacheHits, r.StoreServes)
+		if r.Errors > 0 {
+			fmt.Printf("  ERRORS=%d", r.Errors)
+		}
+		fmt.Println()
+		if r.Errors > 0 {
+			return fmt.Errorf("serve mix %s had %d failed requests", r.Mix, r.Errors)
+		}
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
 func main() {
 	var (
-		mode        = flag.String("mode", "all", "which benchmarks to run: all, sim, or compile")
-		reps        = flag.Int("reps", 10, "repetitions per engine (best-of timing)")
-		out         = flag.String("o", "BENCH_sim.json", "simulation output path")
-		compileReps = flag.Int("compile-reps", 1, "repetitions per compile leg (best-of timing)")
-		compileOut  = flag.String("compile-o", "BENCH_compile.json", "compile output path")
-		smoke       = flag.Bool("smoke", false, "compile mode only: run the tiny smoke subset")
+		mode         = flag.String("mode", "all", "which benchmarks to run: all, sim, compile, or serve")
+		reps         = flag.Int("reps", 10, "repetitions per engine (best-of timing)")
+		out          = flag.String("o", "BENCH_sim.json", "simulation output path")
+		compileReps  = flag.Int("compile-reps", 1, "repetitions per compile leg (best-of timing)")
+		compileOut   = flag.String("compile-o", "BENCH_compile.json", "compile output path")
+		smoke        = flag.Bool("smoke", false, "compile/serve modes: run the tiny smoke subset")
+		serveOut     = flag.String("serve-o", "BENCH_serve.json", "serve output path")
+		serveNodes   = flag.Int("serve-nodes", 3, "serve mode: in-process cluster size")
+		serveClients = flag.Int("serve-clients", 8, "serve mode: concurrent load-generator clients")
 	)
 	flag.Parse()
 
-	if *mode != "all" && *mode != "sim" && *mode != "compile" {
-		fmt.Fprintf(os.Stderr, "unknown -mode %q (want all, sim, or compile)\n", *mode)
+	switch *mode {
+	case "all", "sim", "compile", "serve":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -mode %q (want all, sim, compile, or serve)\n", *mode)
 		os.Exit(1)
 	}
 	if *mode == "all" || *mode == "sim" {
@@ -360,6 +402,12 @@ func main() {
 	}
 	if *mode == "all" || *mode == "compile" {
 		if err := runCompile(*compileReps, *compileOut, *smoke); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *mode == "all" || *mode == "serve" {
+		if err := runServe(*serveNodes, *serveClients, *serveOut, *smoke); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

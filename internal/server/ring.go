@@ -1,0 +1,134 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+)
+
+// Ring is a consistent-hash ring over the compile content-address space.
+// Every cluster member is projected onto the ring at VirtualNodes points
+// (virtual nodes smooth out the arc-length variance of a single hash per
+// member), and a cache key is owned by the member whose point follows the
+// key's hash clockwise. Because the point positions depend only on the
+// member names, every node that was given the same peer list computes the
+// same owner for every key — no coordination service needed, which is what
+// makes the proxy protocol safe to bootstrap from flags alone.
+//
+// A Ring is immutable after construction; membership changes build a new
+// ring (With/Without), which keeps ownership lookups lock-free and makes the
+// minimal-remapping property easy to state: between a ring and its
+// one-member extension, the only keys whose owner differs are those the new
+// member took over.
+type Ring struct {
+	vnodes int
+	points []ringPoint // sorted ascending by hash
+	nodes  []string    // sorted member names
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// DefaultVirtualNodes is the per-member point count used when Options does
+// not override it: 128 keeps the max/min arc-share ratio under ~1.5x for
+// small clusters.
+const DefaultVirtualNodes = 128
+
+// NewRing builds a ring over the given members. vnodes <= 0 selects
+// DefaultVirtualNodes; duplicate member names collapse to one.
+func NewRing(vnodes int, members ...string) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	seen := map[string]bool{}
+	r := &Ring{vnodes: vnodes}
+	for _, m := range members {
+		if m == "" || seen[m] {
+			continue
+		}
+		seen[m] = true
+		r.nodes = append(r.nodes, m)
+	}
+	sort.Strings(r.nodes)
+	r.points = make([]ringPoint, 0, len(r.nodes)*vnodes)
+	for _, m := range r.nodes {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{hash: pointHash(m, i), node: m})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// A full 64-bit hash collision between distinct members is
+		// vanishingly rare; break it by name so all nodes still agree.
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// pointHash places virtual node i of a member on the ring. The member name
+// and index are length-prefixed so distinct (member, i) pairs can never
+// produce the same input bytes.
+func pointHash(member string, i int) uint64 {
+	var buf [12]byte
+	binary.BigEndian.PutUint64(buf[:8], uint64(len(member)))
+	binary.BigEndian.PutUint32(buf[8:], uint32(i))
+	h := sha256.New()
+	h.Write(buf[:])
+	h.Write([]byte(member))
+	return binary.BigEndian.Uint64(h.Sum(nil)[:8])
+}
+
+// keyHash places a cache key on the ring. Keys are already SHA-256 hex
+// digests, but hashing again keeps Owner correct for arbitrary strings and
+// decouples ring position from the key encoding.
+func keyHash(key string) uint64 {
+	sum := sha256.Sum256([]byte("key\x00" + key))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Owner returns the member owning key: the first ring point at or after the
+// key's hash, wrapping past the top of the hash space to the first point.
+// An empty ring owns nothing and returns "".
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := keyHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}
+
+// Nodes returns the sorted member names.
+func (r *Ring) Nodes() []string {
+	return append([]string(nil), r.nodes...)
+}
+
+// Contains reports whether member is on the ring.
+func (r *Ring) Contains(member string) bool {
+	i := sort.SearchStrings(r.nodes, member)
+	return i < len(r.nodes) && r.nodes[i] == member
+}
+
+// With returns a new ring with member added (a no-op copy if already
+// present).
+func (r *Ring) With(member string) *Ring {
+	return NewRing(r.vnodes, append(r.Nodes(), member)...)
+}
+
+// Without returns a new ring with member removed.
+func (r *Ring) Without(member string) *Ring {
+	var kept []string
+	for _, m := range r.nodes {
+		if m != member {
+			kept = append(kept, m)
+		}
+	}
+	return NewRing(r.vnodes, kept...)
+}

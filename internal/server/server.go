@@ -59,6 +59,27 @@ type Options struct {
 	// that cannot be opened degrades gracefully to memory-only; StoreError
 	// reports why.
 	StoreDir string
+
+	// Peers lists the base URLs of the other cluster members. Together with
+	// SelfURL they form a consistent-hash ring over the compile
+	// content-address space: a cache-and-store miss on a key owned by a peer
+	// is proxied to that peer so each unique design compiles once
+	// cluster-wide. Empty means standalone. Every node must be given the
+	// same membership (SelfURL may be included in Peers or not; it is added
+	// automatically).
+	Peers []string
+	// SelfURL is this node's base URL exactly as it appears in the other
+	// nodes' Peers lists; ring ownership is keyed on the literal string.
+	// Required when Peers is non-empty.
+	SelfURL string
+	// ProxyTimeout bounds each proxied artifact fetch attempt (one retry,
+	// then the requester compiles locally). Default 15s.
+	ProxyTimeout time.Duration
+	// HealthInterval paces the background peer /healthz probes (default 2s).
+	HealthInterval time.Duration
+	// VirtualNodes is the per-member point count on the hash ring (default
+	// DefaultVirtualNodes = 128).
+	VirtualNodes int
 }
 
 func (o Options) withDefaults() Options {
@@ -79,6 +100,15 @@ func (o Options) withDefaults() Options {
 	if o.MaxBodyBytes <= 0 {
 		o.MaxBodyBytes = 8 << 20
 	}
+	if o.ProxyTimeout <= 0 {
+		o.ProxyTimeout = 15 * time.Second
+	}
+	if o.HealthInterval <= 0 {
+		o.HealthInterval = 2 * time.Second
+	}
+	if o.VirtualNodes <= 0 {
+		o.VirtualNodes = DefaultVirtualNodes
+	}
 	return o
 }
 
@@ -90,6 +120,12 @@ type Server struct {
 	metrics *Metrics
 	mux     *http.ServeMux
 	store   *store.Store
+	// cluster holds the consistent-hash ring, peer health, and the proxy
+	// client when Options.Peers is non-empty; nil for a standalone node.
+	cluster *cluster
+	// artifactSem bounds concurrent /v1/artifact compiles (they run off the
+	// worker pool — see handleArtifact); a full semaphore sheds with 429.
+	artifactSem chan struct{}
 	// storeErr records why Options.StoreDir could not be opened (the server
 	// then runs memory-only); nil otherwise.
 	storeErr error
@@ -103,11 +139,12 @@ type Server struct {
 func New(opts Options) *Server {
 	opts = opts.withDefaults()
 	s := &Server{
-		opts:    opts,
-		cache:   NewCache(opts.CacheEntries),
-		pool:    NewPool(opts.Workers, opts.QueueDepth),
-		metrics: NewMetrics(),
-		mux:     http.NewServeMux(),
+		opts:        opts,
+		cache:       NewCache(opts.CacheEntries),
+		pool:        NewPool(opts.Workers, opts.QueueDepth),
+		metrics:     NewMetrics(),
+		mux:         http.NewServeMux(),
+		artifactSem: make(chan struct{}, opts.Workers+opts.QueueDepth),
 	}
 	if opts.StoreDir != "" {
 		s.store, s.storeErr = store.Open(opts.StoreDir)
@@ -117,6 +154,16 @@ func New(opts Options) *Server {
 		s.store, _ = store.Open("")
 	}
 	warmed := s.warmCache()
+	if len(opts.Peers) > 0 && opts.SelfURL != "" {
+		s.cluster = newCluster(opts, s.metrics)
+		s.cluster.start()
+		s.metrics.Gauge("sarad_cluster_nodes", func() int64 {
+			return int64(len(s.cluster.ring.Nodes()))
+		})
+		s.metrics.Gauge("sarad_cluster_peers_healthy", func() int64 {
+			return int64(s.cluster.healthyPeers())
+		})
+	}
 	s.metrics.Gauge("sarad_queue_depth", func() int64 { return int64(s.pool.QueueDepth()) })
 	s.metrics.Gauge("sarad_workers_busy", func() int64 { return s.pool.Active() })
 	s.metrics.Gauge("sarad_cache_entries", func() int64 { return int64(s.cache.Stats().Entries) })
@@ -124,6 +171,7 @@ func New(opts Options) *Server {
 	s.registerStoreMetrics()
 	s.mux.HandleFunc("/v1/run", s.instrument("/v1/run", s.handleRun))
 	s.mux.HandleFunc("/v1/compile", s.instrument("/v1/compile", s.handleCompile))
+	s.mux.HandleFunc("/v1/artifact", s.instrument("/v1/artifact", s.handleArtifact))
 	s.mux.HandleFunc("/v1/workloads", s.instrument("/v1/workloads", s.handleWorkloads))
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -155,21 +203,46 @@ func (s *Server) warmCache() int {
 		if err != nil {
 			continue
 		}
-		s.cache.Seed(key, &core.Compiled{
-			Prog:       a.Prog,
-			Spec:       a.Spec,
-			Plan:       a.State.Plan,
-			Lowered:    a.State.Lowered,
-			OptStats:   a.State.OptStats,
-			BankStats:  a.State.BankStats,
-			PartStats:  a.State.PartStats,
-			Merged:     a.State.Merged,
-			Placement:  a.State.Placement,
-			PhaseTimes: a.PhaseTimes,
-		})
+		s.cache.Seed(key, compiledFromArtifact(a))
 		warmed++
 	}
 	return warmed
+}
+
+// compiledFromArtifact rehydrates a decoded final artifact into the form
+// the serving path uses. The codec round-trip is bit-exact (see
+// internal/store), so a design restored here simulates cycle-for-cycle like
+// the compile that produced it — the property the cluster's bit-identical
+// proxy responses rest on.
+func compiledFromArtifact(a *store.Artifact) *core.Compiled {
+	return &core.Compiled{
+		Prog:       a.Prog,
+		Spec:       a.Spec,
+		Plan:       a.State.Plan,
+		Lowered:    a.State.Lowered,
+		OptStats:   a.State.OptStats,
+		BankStats:  a.State.BankStats,
+		PartStats:  a.State.PartStats,
+		Merged:     a.State.Merged,
+		Placement:  a.State.Placement,
+		PhaseTimes: a.PhaseTimes,
+	}
+}
+
+// compiledFromStore serves a final artifact persisted under key from the
+// local store tier (a design this node compiled or proxied in a past life),
+// skipping both recompilation and the cluster hop. Undecodable bytes fall
+// through to a fresh compile.
+func (s *Server) compiledFromStore(key string) (*core.Compiled, bool) {
+	data, ok := s.store.Get(store.FinalStage, key)
+	if !ok {
+		return nil, false
+	}
+	a, err := store.DecodeArtifact(data)
+	if err != nil {
+		return nil, false
+	}
+	return compiledFromArtifact(a), true
 }
 
 // registerStoreMetrics exposes the design store's per-stage cache traffic
@@ -214,7 +287,12 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // Close drains in-flight and queued jobs, waiting up to ctx's deadline. Call
 // after http.Server.Shutdown so no new work arrives while draining.
-func (s *Server) Close(ctx context.Context) error { return s.pool.Shutdown(ctx) }
+func (s *Server) Close(ctx context.Context) error {
+	if s.cluster != nil {
+		s.cluster.stop()
+	}
+	return s.pool.Shutdown(ctx)
+}
 
 // RunRequest is the body of /v1/run and /v1/compile. Exactly one of Workload
 // or Program selects what to compile.
@@ -326,6 +404,15 @@ type RunResponse struct {
 	Arch     string `json:"arch"`
 	CacheKey string `json:"cache_key"`
 	CacheHit bool   `json:"cache_hit"`
+	// Proxied marks a compile fetched from the cluster owner of this key on
+	// this request (the design was decoded from the owner's artifact and
+	// simulated locally); ProxyOwner names the peer it came from. Later
+	// identical requests hit the local LRU and report cache_hit instead.
+	Proxied    bool   `json:"proxied,omitempty"`
+	ProxyOwner string `json:"proxy_owner,omitempty"`
+	// StoreHit marks a compile served from this node's persistent design
+	// store (final-artifact tier) without recompiling or proxying.
+	StoreHit bool `json:"store_hit,omitempty"`
 	// CompileMS is the wall time of the compile phase of this request; a
 	// cache hit reports ~0 (the cost was paid by an earlier request).
 	CompileMS float64 `json:"compile_ms"`
@@ -581,33 +668,7 @@ func (s *Server) execute(ctx context.Context, req *RunRequest, spec *arch.Spec, 
 		return nil, http.StatusGatewayTimeout, err
 	}
 	t0 := time.Now()
-	compiled, hit, err := s.cache.GetOrCompile(key, func() (*core.Compiled, error) {
-		s.metrics.Add("sarad_compiles_total", 1)
-		prog, err := buildProgram(req)
-		if err != nil {
-			return nil, err
-		}
-		cfg := req.Options.config(spec)
-		cfg.Memo = s.store
-		c, err := core.Compile(prog, cfg)
-		if err != nil {
-			return nil, err
-		}
-		// Persist the finished design under the request's content address so
-		// a restarted server can warm its LRU without recompiling.
-		s.store.Put(store.FinalStage, key, store.EncodeArtifact(&store.Artifact{
-			Prog:       c.Prog,
-			Spec:       c.Spec,
-			State:      snapshotOf(c),
-			PhaseTimes: c.PhaseTimes,
-		}))
-		s.metrics.Observe("sarad_compile_seconds", c.CompileTime().Seconds())
-		for phase, d := range c.PhaseTimes {
-			s.metrics.Observe("sarad_compile_phase_seconds_"+phase, d.Seconds())
-		}
-		s.metrics.Add("sarad_mip_nodes_explored_total", int64(c.MIPNodes()))
-		return c, nil
-	})
+	compiled, hit, via, err := s.compileForRequest(ctx, req, spec, key, true)
 	if err != nil {
 		return nil, http.StatusUnprocessableEntity, err
 	}
@@ -619,12 +680,15 @@ func (s *Server) execute(ctx context.Context, req *RunRequest, spec *arch.Spec, 
 	}
 
 	resp := &RunResponse{
-		Program:   compiled.Prog.Name,
-		Arch:      spec.Name,
-		CacheKey:  key,
-		CacheHit:  hit,
-		CompileMS: float64(compileWall.Microseconds()) / 1e3,
-		Resources: resourcesJSON(compiled.Resources()),
+		Program:    compiled.Prog.Name,
+		Arch:       spec.Name,
+		CacheKey:   key,
+		CacheHit:   hit,
+		Proxied:    via.proxyOwner != "",
+		ProxyOwner: via.proxyOwner,
+		StoreHit:   via.storeHit,
+		CompileMS:  float64(compileWall.Microseconds()) / 1e3,
+		Resources:  resourcesJSON(compiled.Resources()),
 	}
 	resp.PhaseMS = map[string]float64{}
 	for phase, d := range compiled.PhaseTimes {
@@ -699,6 +763,161 @@ func (s *Server) execute(ctx context.Context, req *RunRequest, spec *arch.Spec, 
 	}
 	resp.Result = result.JSON(spec)
 	return resp, http.StatusOK, nil
+}
+
+// compileVia records how a compile request was satisfied when it missed the
+// LRU: proxied from the cluster owner, served from the local persistent
+// store, or (both zero) compiled locally.
+type compileVia struct {
+	proxyOwner string
+	storeHit   bool
+}
+
+// compileForRequest resolves req's design through the full serving
+// hierarchy: LRU cache (with single-flight dedup) → local persistent store
+// → cluster owner via proxy (when allowProxy and this node does not own the
+// key) → local compile. The proxy hop runs inside the single-flight slot,
+// so M concurrent identical requests on this node issue at most one proxy
+// call, and the owner's own single-flight collapses calls from different
+// nodes — each unique design compiles exactly once cluster-wide. Any proxy
+// failure (dead peer, timeout after one retry, saturation, decode error)
+// falls back to compiling locally, i.e. standalone sarad behavior.
+func (s *Server) compileForRequest(ctx context.Context, req *RunRequest, spec *arch.Spec, key string, allowProxy bool) (*core.Compiled, bool, compileVia, error) {
+	var via compileVia
+	compiled, hit, err := s.cache.GetOrCompile(key, func() (*core.Compiled, error) {
+		if c, ok := s.compiledFromStore(key); ok {
+			via.storeHit = true
+			s.metrics.Add("sarad_store_final_serves_total", 1)
+			return c, nil
+		}
+		if allowProxy && s.cluster != nil {
+			if owner, local := s.cluster.route(key); !local {
+				if c, ok := s.proxyCompile(ctx, owner, key, req); ok {
+					via.proxyOwner = owner
+					return c, nil
+				}
+				s.metrics.Add("sarad_proxy_fallback_local_total", 1)
+			}
+		}
+		s.metrics.Add("sarad_compiles_total", 1)
+		prog, err := buildProgram(req)
+		if err != nil {
+			return nil, err
+		}
+		cfg := req.Options.config(spec)
+		cfg.Memo = s.store
+		c, err := core.Compile(prog, cfg)
+		if err != nil {
+			return nil, err
+		}
+		// Persist the finished design under the request's content address so
+		// a restarted server can warm its LRU without recompiling.
+		s.store.Put(store.FinalStage, key, store.EncodeArtifact(&store.Artifact{
+			Prog:       c.Prog,
+			Spec:       c.Spec,
+			State:      snapshotOf(c),
+			PhaseTimes: c.PhaseTimes,
+		}))
+		s.metrics.Observe("sarad_compile_seconds", c.CompileTime().Seconds())
+		for phase, d := range c.PhaseTimes {
+			s.metrics.Observe("sarad_compile_phase_seconds_"+phase, d.Seconds())
+		}
+		s.metrics.Add("sarad_mip_nodes_explored_total", int64(c.MIPNodes()))
+		return c, nil
+	})
+	return compiled, hit, via, err
+}
+
+// proxyCompile fetches key's artifact from its cluster owner. On success
+// the artifact bytes are persisted into this node's local store tier —
+// after the owner dies, repeats of this request are still served locally —
+// and the decoded design carries the owner's per-stage cache flags so
+// stage_cache stays accurate through the proxy path. ok=false means the
+// caller should compile locally.
+func (s *Server) proxyCompile(ctx context.Context, owner, key string, req *RunRequest) (*core.Compiled, bool) {
+	env, err := s.cluster.fetchArtifact(ctx, owner, key, req)
+	if err != nil {
+		return nil, false
+	}
+	a, err := store.DecodeArtifact(env.Artifact)
+	if err != nil {
+		s.metrics.Add("sarad_proxy_decode_errors_total", 1)
+		return nil, false
+	}
+	s.store.Put(store.FinalStage, key, env.Artifact)
+	c := compiledFromArtifact(a)
+	c.StageHits = env.StageCache
+	return c, true
+}
+
+// handleArtifact is the owner side of the cluster proxy protocol: compile
+// the posted request (through this node's own cache, store, and
+// single-flight — never proxying onward, so requests cannot loop even under
+// disagreeing peer lists) and return the encoded final artifact.
+//
+// Artifact compiles deliberately run in the handler goroutine, NOT on the
+// worker pool. A pooled job that proxies holds its worker for the whole
+// round trip; if artifact requests queued behind such jobs, two nodes
+// proxying to each other could each be waiting on work parked in the
+// other's queue — a distributed deadlock that only the proxy timeout would
+// unstick. Keeping the owner side pool-free makes the wait graph acyclic:
+// requesters wait on owners, owners wait on nobody. Cluster-wide compile
+// concurrency stays bounded because every remote artifact request holds a
+// pool slot on its requester; a counting semaphore (workers + queue depth)
+// additionally sheds pathological fan-in with 429, which the requester
+// treats as a proxy failure and absorbs by compiling locally.
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	spec, err := specFor(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	key, err := cacheKey(req)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if want := r.Header.Get("X-Sara-Key"); want != "" && want != key {
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("content address mismatch: requester computed %s, this node %s (version skew?)", want, key))
+		return
+	}
+	select {
+	case s.artifactSem <- struct{}{}:
+		defer func() { <-s.artifactSem }()
+	default:
+		s.metrics.Add("sarad_rejected_total", 1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, ErrSaturated)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.DefaultTimeout)
+	defer cancel()
+
+	if s.jobGate != nil {
+		s.jobGate()
+	}
+	c, hit, _, err := s.compileForRequest(ctx, req, spec, key, false)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	s.metrics.Add("sarad_artifact_served_total", 1)
+	writeJSON(w, http.StatusOK, &artifactEnvelope{
+		Key:        key,
+		CacheHit:   hit,
+		StageCache: c.StageHits,
+		Artifact: store.EncodeArtifact(&store.Artifact{
+			Prog:       c.Prog,
+			Spec:       c.Spec,
+			State:      snapshotOf(c),
+			PhaseTimes: c.PhaseTimes,
+		}),
+	})
 }
 
 // snapshotOf packs a compiled design's pipeline state for artifact
