@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench benchsmoke profilesmoke servesmoke serve
+.PHONY: ci fmt vet build test race bench benchsmoke profilesmoke servesmoke tunesmoke serve
 
-ci: fmt vet build race benchsmoke profilesmoke servesmoke
+ci: fmt vet build race benchsmoke profilesmoke servesmoke tunesmoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -26,7 +26,7 @@ race:
 
 bench:
 	$(GO) run ./cmd/sarabench -o BENCH_sim.json -compile-o BENCH_compile.json \
-		-serve-o BENCH_serve.json
+		-serve-o BENCH_serve.json -tune-o BENCH_tune.json
 	$(GO) test -bench=. -benchmem
 
 # One iteration of the engine comparison (event, dense, and parallel) plus a
@@ -58,6 +58,15 @@ servesmoke:
 profilesmoke:
 	$(GO) run ./cmd/sarasim -workload mlp -par 4 -scale 16 \
 		-profile $${TMPDIR:-/tmp}/sara_profile_smoke.json -profile-report >/dev/null
+
+# Autotuner smoke: one tiny deterministic search (12-point ms space) under
+# the race detector, exercising the full explore → prune → validate loop,
+# the design store, and the export path. The determinism, brute-force
+# equivalence, and analytic-soundness suites run under the `race` target,
+# which ci already includes.
+tunesmoke:
+	$(GO) run -race ./cmd/sarabench -mode tune -smoke \
+		-tune-o $${TMPDIR:-/tmp}/BENCH_tune_smoke.json
 
 # Run the compile-and-simulate daemon locally.
 serve:

@@ -21,11 +21,21 @@
 // recompiles — recording p50/p99 latency, RPS, and cluster-wide
 // unique-compile counts to BENCH_serve.json.
 //
+// Tune mode runs the committed autotuner searches and writes
+// BENCH_tune.json: an rf chip-sizing sweep where the fit check prunes most
+// of the space and design-identity dedupe collapses the survivors onto a
+// handful of cycle simulations, and a DRAM-bound ms sweep where the
+// analytic roofline proves most channel-cut and opt-ablated points
+// dominated. The record pins the pruned fraction, stage-cache hit rate,
+// and the Pareto front itself — the search is deterministic, so fronts are
+// comparable across commits.
+//
 // Usage:
 //
-//	sarabench [-mode all|sim|compile|serve] [-reps 10] [-o BENCH_sim.json]
+//	sarabench [-mode all|sim|compile|serve|tune] [-reps 10] [-o BENCH_sim.json]
 //	          [-compile-reps 1] [-compile-o BENCH_compile.json] [-smoke]
 //	          [-serve-o BENCH_serve.json] [-serve-nodes 3] [-serve-clients 8]
+//	          [-tune-o BENCH_tune.json]
 package main
 
 import (
@@ -33,7 +43,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"time"
 
 	"sara/internal/arch"
@@ -41,6 +50,7 @@ import (
 	"sara/internal/eval"
 	"sara/internal/profile"
 	"sara/internal/sim"
+	"sara/internal/tune"
 	"sara/internal/workloads"
 )
 
@@ -105,13 +115,13 @@ type WorkerStat struct {
 	SerialCycles int64   `json:"serial_cycles"`
 }
 
-// Report is the BENCH_sim.json document. GOMAXPROCS pins the host
+// Report is the BENCH_sim.json document. The meta stamp pins the host
 // parallelism the parallel-engine rows were measured under — worker ladders
 // recorded on a single-core machine are honest but cannot show scaling.
 type Report struct {
-	Reps       int   `json:"reps"`
-	GOMAXPROCS int   `json:"gomaxprocs"`
-	Rows       []Row `json:"rows"`
+	Meta eval.BenchMeta `json:"meta"`
+	Reps int            `json:"reps"`
+	Rows []Row          `json:"rows"`
 }
 
 func timeEngine(d *sim.Design, kind sim.EngineKind, reps int) (EngineStat, *sim.Result, error) {
@@ -246,11 +256,19 @@ func runCompile(reps int, out string, smoke bool) error {
 			r.Workload, r.Par, r.Scale, r.Change+"-change", r.Cold.TotalMS, r.Incremental.TotalMS,
 			r.Speedup, len(r.StagesRestored), r.SolverInstanceHits)
 	}
+	var compileWorkloads []string
+	for _, cs := range cases {
+		compileWorkloads = append(compileWorkloads, cs.Workload)
+	}
+	for _, cs := range incCases {
+		compileWorkloads = append(compileWorkloads, cs.Workload)
+	}
 	doc := struct {
+		Meta        eval.BenchMeta             `json:"meta"`
 		Reps        int                        `json:"reps"`
 		Rows        []eval.CompileBenchRow     `json:"rows"`
 		Incremental []eval.IncrementalBenchRow `json:"incremental"`
-	}{Reps: reps, Rows: rows, Incremental: incRows}
+	}{Meta: eval.NewBenchMeta(compileWorkloads...), Reps: reps, Rows: rows, Incremental: incRows}
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
@@ -263,7 +281,11 @@ func runCompile(reps int, out string, smoke bool) error {
 }
 
 func runSim(reps int, out string) error {
-	rep := Report{Reps: reps, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	var simWorkloads []string
+	for _, bc := range benchCases {
+		simWorkloads = append(simWorkloads, bc.workload)
+	}
+	rep := Report{Meta: eval.NewBenchMeta(simWorkloads...), Reps: reps}
 	for _, bc := range benchCases {
 		w, err := workloads.ByName(bc.workload)
 		if err != nil {
@@ -345,6 +367,95 @@ func runSim(reps int, out string) error {
 	return nil
 }
 
+// tuneSearches is the BENCH_tune.json search set. Each entry is a
+// deterministic autotuner run whose committed record demonstrates the two
+// pruning modes: rf is a chip-sizing sweep where most of the space is
+// analytically unfittable (small chips cannot hold high-par designs) and
+// design-identity dedupe collapses the survivors onto four cycle
+// simulations; ms is DRAM-bound, so the analytic roofline proves most
+// channel-cut and opt-ablated points dominated before they reach the cycle
+// engine.
+func tuneSearches(smoke bool) []tune.Options {
+	if smoke {
+		return []tune.Options{{
+			Workload: "ms", Scale: 16,
+			Space: tune.Space{
+				Pars:         []int{4, 8, 16},
+				Opts:         []tune.OptSet{tune.NamedOptSets[0], tune.NamedOptSets[len(tune.NamedOptSets)-1]},
+				DRAMChannels: []int{8, 16},
+			},
+		}}
+	}
+	return []tune.Options{
+		{
+			Workload: "rf", Scale: 32,
+			Space: tune.Space{
+				Pars:   []int{16, 32, 64, 128, 256},
+				NumPCU: []int{12, 24, 48, 96, 200},
+				NumPMU: []int{32, 200},
+				NumAG:  []int{8, 20},
+			},
+		},
+		{
+			Workload: "ms", Scale: 16,
+			Space: tune.Space{
+				Pars:         []int{4, 8, 16, 32, 64, 96, 192},
+				Opts:         []tune.OptSet{tune.NamedOptSets[0], tune.NamedOptSets[len(tune.NamedOptSets)-1]},
+				DRAMChannels: []int{4, 8, 16},
+			},
+		},
+	}
+}
+
+// runTune executes the committed autotuner searches and writes
+// BENCH_tune.json. Outside smoke mode it enforces the record's headline
+// claims: more than half of each space pruned without a cycle simulation,
+// and a best seed-arch point no slower than the hand-picked baseline.
+func runTune(out string, smoke bool) error {
+	searches := tuneSearches(smoke)
+	var names []string
+	var results []*tune.Result
+	for _, o := range searches {
+		names = append(names, o.Workload)
+		r, err := tune.Run(o)
+		if err != nil {
+			return fmt.Errorf("tune %s: %w", o.Workload, err)
+		}
+		results = append(results, r)
+		fmt.Printf("%-6s scale=%-4d explored=%-4d pruned=%d+%d unfit  validated=%-3d sims=%-3d (+%d shared)  pruned-fraction %.0f%%  stage-hit-rate %.0f%%  wall %dms\n",
+			r.Workload, r.Scale, r.Stats.Explored, r.Stats.PrunedDominated, r.Stats.Unfit,
+			r.Stats.Validated, r.Stats.CycleSims, r.Stats.SharedSims,
+			100*r.Stats.PrunedFraction(), 100*r.Stats.StageHitRate, r.Stats.WallMS)
+		for _, id := range r.Front {
+			p := &r.Points[id]
+			fmt.Printf("       front %-44s total=%-4d cycles=%d\n", p.Point.Label(), p.Total, p.Cycles)
+		}
+		if smoke {
+			continue
+		}
+		if f := r.Stats.PrunedFraction(); f <= 0.5 {
+			return fmt.Errorf("tune %s: pruned fraction %.0f%% — the committed search spaces must show the analytic model skipping most points", r.Workload, 100*f)
+		}
+		best := r.BestAtBaseArch()
+		if best == nil || best.Cycles > r.Baseline.Cycles {
+			return fmt.Errorf("tune %s: best seed-arch point does not match the hand-picked baseline (%v vs %d cycles)", r.Workload, best, r.Baseline.Cycles)
+		}
+	}
+	doc := struct {
+		Meta     eval.BenchMeta `json:"meta"`
+		Searches []*tune.Result `json:"searches"`
+	}{Meta: eval.NewBenchMeta(names...), Searches: results}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
 // runServe boots the in-process cluster load generator and writes
 // BENCH_serve.json.
 func runServe(nodes, clients int, out string, smoke bool) error {
@@ -385,13 +496,14 @@ func main() {
 		serveOut     = flag.String("serve-o", "BENCH_serve.json", "serve output path")
 		serveNodes   = flag.Int("serve-nodes", 3, "serve mode: in-process cluster size")
 		serveClients = flag.Int("serve-clients", 8, "serve mode: concurrent load-generator clients")
+		tuneOut      = flag.String("tune-o", "BENCH_tune.json", "tune output path")
 	)
 	flag.Parse()
 
 	switch *mode {
-	case "all", "sim", "compile", "serve":
+	case "all", "sim", "compile", "serve", "tune":
 	default:
-		fmt.Fprintf(os.Stderr, "unknown -mode %q (want all, sim, compile, or serve)\n", *mode)
+		fmt.Fprintf(os.Stderr, "unknown -mode %q (want all, sim, compile, serve, or tune)\n", *mode)
 		os.Exit(1)
 	}
 	if *mode == "all" || *mode == "sim" {
@@ -408,6 +520,12 @@ func main() {
 	}
 	if *mode == "all" || *mode == "serve" {
 		if err := runServe(*serveNodes, *serveClients, *serveOut, *smoke); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *mode == "all" || *mode == "tune" {
+		if err := runTune(*tuneOut, *smoke); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

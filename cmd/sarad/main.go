@@ -12,16 +12,22 @@
 // slow peer degrades the requester to standalone behavior (local compile)
 // instead of failing the request.
 //
+// A request carrying a "tune" member runs the design-space autotuner over a
+// registered workload and answers with the full Pareto-front result;
+// candidate compiles flow through the same cache/store/cluster hierarchy,
+// and -tune-max-points bounds how large a space one request may search.
+//
 // Usage:
 //
 //	sarad [-addr :8080] [-workers N] [-queue N] [-cache N] [-timeout 120s]
 //	      [-store DIR] [-peers URL,URL,...] [-peers-file FILE] [-self URL]
-//	      [-proxy-timeout 15s]
+//	      [-proxy-timeout 15s] [-tune-max-points 512]
 //
 // Example requests:
 //
 //	curl -s localhost:8080/v1/workloads
 //	curl -s localhost:8080/v1/run -d '{"workload":"bs","par":16,"scale":64,"engine":"analytic"}'
+//	curl -s localhost:8080/v1/run -d '{"workload":"ms","scale":16,"tune":{"pars":[16,32,64],"dram_channels":[8,16]}}'
 //	curl -s localhost:8080/metrics
 package main
 
@@ -55,6 +61,7 @@ func main() {
 		peersFile    = flag.String("peers-file", "", "file listing one peer base URL per line (# comments allowed); merged with -peers")
 		self         = flag.String("self", "", "this node's base URL exactly as it appears in the membership (default: http://localhost<addr> when -addr starts with ':')")
 		proxyTimeout = flag.Duration("proxy-timeout", 15*time.Second, "per-attempt bound on proxied artifact fetches (one retry, then local compile)")
+		tuneMax      = flag.Int("tune-max-points", 512, "largest design space a single tune request may enumerate")
 	)
 	flag.Parse()
 
@@ -72,6 +79,7 @@ func main() {
 		Peers:          peerList,
 		SelfURL:        selfURL,
 		ProxyTimeout:   *proxyTimeout,
+		TuneMaxPoints:  *tuneMax,
 	})
 	if err := svc.StoreError(); err != nil {
 		log.Printf("sarad: design store disabled, running memory-only: %v", err)

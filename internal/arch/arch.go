@@ -157,21 +157,32 @@ func (s *Spec) PUSpecFor(t PUType) PUSpec {
 	}
 }
 
-// Validate checks internal consistency of the spec.
+// Validate checks internal consistency of the spec. The autotuner mutates
+// specs programmatically, so every knob it can reach must fail loudly with a
+// descriptive error rather than simulate garbage.
 func (s *Spec) Validate() error {
 	switch {
 	case s.Rows <= 0 || s.Cols <= 0:
-		return fmt.Errorf("arch %s: grid %dx%d invalid", s.Name, s.Rows, s.Cols)
-	case s.NumPCU <= 0 || s.NumPMU <= 0:
-		return fmt.Errorf("arch %s: needs PCUs and PMUs", s.Name)
+		return fmt.Errorf("arch %s: grid %dx%d invalid: rows and cols must be positive", s.Name, s.Rows, s.Cols)
+	case s.NumPCU <= 0:
+		return fmt.Errorf("arch %s: num_pcu %d invalid: chip needs at least one PCU", s.Name, s.NumPCU)
+	case s.NumPMU <= 0:
+		return fmt.Errorf("arch %s: num_pmu %d invalid: chip needs at least one PMU", s.Name, s.NumPMU)
+	case s.NumAG <= 0:
+		return fmt.Errorf("arch %s: num_ag %d invalid: chip needs at least one DRAM address generator", s.Name, s.NumAG)
 	case s.PCU.Lanes <= 0 || s.PCU.Stages <= 0:
-		return fmt.Errorf("arch %s: PCU lanes/stages invalid", s.Name)
+		return fmt.Errorf("arch %s: PCU lanes %d / stages %d invalid: both must be positive", s.Name, s.PCU.Lanes, s.PCU.Stages)
+	case s.PCU.InBufDepth <= 0 || s.PMU.InBufDepth <= 0 || s.AG.InBufDepth <= 0:
+		return fmt.Errorf("arch %s: stream buffer depth invalid (PCU %d, PMU %d, AG %d): all must be positive",
+			s.Name, s.PCU.InBufDepth, s.PMU.InBufDepth, s.AG.InBufDepth)
 	case s.PMU.ScratchElems <= 0:
-		return fmt.Errorf("arch %s: PMU scratch capacity invalid", s.Name)
-	case s.DRAM.Channels <= 0 || s.DRAM.BytesPerCyclePerChannel <= 0:
-		return fmt.Errorf("arch %s: DRAM spec invalid", s.Name)
+		return fmt.Errorf("arch %s: PMU scratch capacity %d invalid: must be positive", s.Name, s.PMU.ScratchElems)
+	case s.DRAM.Channels <= 0:
+		return fmt.Errorf("arch %s: dram_channels %d invalid: must be positive", s.Name, s.DRAM.Channels)
+	case s.DRAM.BytesPerCyclePerChannel <= 0:
+		return fmt.Errorf("arch %s: DRAM bandwidth %v bytes/cycle/channel invalid: must be positive", s.Name, s.DRAM.BytesPerCyclePerChannel)
 	case s.ClockGHz <= 0:
-		return fmt.Errorf("arch %s: clock invalid", s.Name)
+		return fmt.Errorf("arch %s: clock %v GHz invalid: must be positive", s.Name, s.ClockGHz)
 	}
 	return nil
 }

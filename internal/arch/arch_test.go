@@ -66,19 +66,34 @@ func TestScaledMultipliesResources(t *testing.T) {
 }
 
 func TestValidateRejectsBroken(t *testing.T) {
-	for _, mut := range []func(*Spec){
-		func(s *Spec) { s.Rows = 0 },
-		func(s *Spec) { s.NumPCU = 0 },
-		func(s *Spec) { s.PCU.Lanes = 0 },
-		func(s *Spec) { s.PMU.ScratchElems = 0 },
-		func(s *Spec) { s.DRAM.Channels = 0 },
-		func(s *Spec) { s.ClockGHz = 0 },
-	} {
-		s := SARA20x20()
-		mut(s)
-		if err := s.Validate(); err == nil {
-			t.Errorf("broken spec %+v passed validation", s.Name)
-		}
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+	}{
+		{"zero rows", func(s *Spec) { s.Rows = 0 }},
+		{"negative cols", func(s *Spec) { s.Cols = -4 }},
+		{"zero PCUs", func(s *Spec) { s.NumPCU = 0 }},
+		{"zero PMUs", func(s *Spec) { s.NumPMU = 0 }},
+		{"zero AGs", func(s *Spec) { s.NumAG = 0 }},
+		{"negative AGs", func(s *Spec) { s.NumAG = -1 }},
+		{"zero PCU lanes", func(s *Spec) { s.PCU.Lanes = 0 }},
+		{"zero PCU in-buf depth", func(s *Spec) { s.PCU.InBufDepth = 0 }},
+		{"zero PMU in-buf depth", func(s *Spec) { s.PMU.InBufDepth = 0 }},
+		{"zero AG in-buf depth", func(s *Spec) { s.AG.InBufDepth = 0 }},
+		{"zero PMU scratch", func(s *Spec) { s.PMU.ScratchElems = 0 }},
+		{"zero DRAM channels", func(s *Spec) { s.DRAM.Channels = 0 }},
+		{"negative DRAM channels", func(s *Spec) { s.DRAM.Channels = -16 }},
+		{"zero DRAM bandwidth", func(s *Spec) { s.DRAM.BytesPerCyclePerChannel = 0 }},
+		{"zero clock", func(s *Spec) { s.ClockGHz = 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := SARA20x20()
+			tc.mut(s)
+			if err := s.Validate(); err == nil {
+				t.Errorf("broken spec (%s) passed validation", tc.name)
+			}
+		})
 	}
 }
 

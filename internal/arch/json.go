@@ -23,10 +23,48 @@ type SpecJSON struct {
 	NumPCU              int     `json:"num_pcu,omitempty"`
 	NumPMU              int     `json:"num_pmu,omitempty"`
 	NumAG               int     `json:"num_ag,omitempty"`
+	Rows                int     `json:"rows,omitempty"`
+	Cols                int     `json:"cols,omitempty"`
+	// StreamDepth overrides the per-input stream buffer depth (InBufDepth) of
+	// every unit type at once — the knob the autotuner sweeps.
+	StreamDepth int `json:"stream_depth,omitempty"`
+}
+
+// checkOverrides rejects negative (and other nonsensical) override values
+// with descriptive errors. Zero means "keep the preset's setting", so only
+// explicitly bad values fail; the tuner mutates these fields programmatically
+// and a bad knob combo must fail loudly, not simulate garbage.
+func (j *SpecJSON) checkOverrides() error {
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"scale", j.Scale},
+		{"dram_channels", j.DRAMChannels},
+		{"net_hop_latency_cycles", j.NetHopLatencyCycles},
+		{"default_stream_hops", j.DefaultStreamHops},
+		{"num_pcu", j.NumPCU},
+		{"num_pmu", j.NumPMU},
+		{"num_ag", j.NumAG},
+		{"rows", j.Rows},
+		{"cols", j.Cols},
+		{"stream_depth", j.StreamDepth},
+	} {
+		if f.v < 0 {
+			return fmt.Errorf("arch: %s %d invalid: overrides must be positive (zero keeps the preset's value)", f.name, f.v)
+		}
+	}
+	if j.ClockGHz < 0 {
+		return fmt.Errorf("arch: clock_ghz %v invalid: overrides must be positive (zero keeps the preset's value)", j.ClockGHz)
+	}
+	return nil
 }
 
 // Spec materializes the request into a validated chip configuration.
 func (j *SpecJSON) Spec() (*Spec, error) {
+	if err := j.checkOverrides(); err != nil {
+		return nil, err
+	}
 	var s *Spec
 	switch j.Preset {
 	case "", "20x20", "sara20x20":
@@ -59,6 +97,17 @@ func (j *SpecJSON) Spec() (*Spec, error) {
 	}
 	if j.NumAG > 0 {
 		s.NumAG = j.NumAG
+	}
+	if j.Rows > 0 {
+		s.Rows = j.Rows
+	}
+	if j.Cols > 0 {
+		s.Cols = j.Cols
+	}
+	if j.StreamDepth > 0 {
+		s.PCU.InBufDepth = j.StreamDepth
+		s.PMU.InBufDepth = j.StreamDepth
+		s.AG.InBufDepth = j.StreamDepth
 	}
 	if err := s.Validate(); err != nil {
 		return nil, err

@@ -1,6 +1,9 @@
 package arch
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestSpecJSONDefaults(t *testing.T) {
 	s, err := (&SpecJSON{}).Spec()
@@ -49,5 +52,58 @@ func TestSpecJSONScale(t *testing.T) {
 func TestSpecJSONRejectsUnknownPreset(t *testing.T) {
 	if _, err := (&SpecJSON{Preset: "40x40"}).Spec(); err == nil {
 		t.Fatal("expected error for unknown preset")
+	}
+}
+
+func TestSpecJSONTunerKnobs(t *testing.T) {
+	j := &SpecJSON{Rows: 10, Cols: 12, StreamDepth: 8, NumAG: 24}
+	s, err := j.Spec()
+	if err != nil {
+		t.Fatalf("Spec: %v", err)
+	}
+	if s.Rows != 10 || s.Cols != 12 {
+		t.Errorf("grid override not applied: %dx%d", s.Rows, s.Cols)
+	}
+	if s.PCU.InBufDepth != 8 || s.PMU.InBufDepth != 8 || s.AG.InBufDepth != 8 {
+		t.Errorf("stream_depth should set every unit type's InBufDepth: PCU %d PMU %d AG %d",
+			s.PCU.InBufDepth, s.PMU.InBufDepth, s.AG.InBufDepth)
+	}
+	if s.NumAG != 24 {
+		t.Errorf("num_ag override not applied: %d", s.NumAG)
+	}
+}
+
+// TestSpecJSONRejectsBadKnobs is the satellite-1 contract: the tuner builds
+// SpecJSON values programmatically, and any nonpositive unit count, grid
+// dimension, or DRAM channel count must be rejected with an error naming the
+// offending field — not silently simulated.
+func TestSpecJSONRejectsBadKnobs(t *testing.T) {
+	cases := []struct {
+		name string
+		j    SpecJSON
+		want string // substring the error must carry
+	}{
+		{"negative num_pcu", SpecJSON{NumPCU: -1}, "num_pcu"},
+		{"negative num_pmu", SpecJSON{NumPMU: -200}, "num_pmu"},
+		{"negative num_ag", SpecJSON{NumAG: -3}, "num_ag"},
+		{"negative rows", SpecJSON{Rows: -20}, "rows"},
+		{"negative cols", SpecJSON{Cols: -20}, "cols"},
+		{"negative dram_channels", SpecJSON{DRAMChannels: -16}, "dram_channels"},
+		{"negative stream_depth", SpecJSON{StreamDepth: -16}, "stream_depth"},
+		{"negative scale", SpecJSON{Scale: -2}, "scale"},
+		{"negative clock", SpecJSON{ClockGHz: -1.0}, "clock_ghz"},
+		{"negative hop latency", SpecJSON{NetHopLatencyCycles: -2}, "net_hop_latency_cycles"},
+		{"negative stream hops", SpecJSON{DefaultStreamHops: -4}, "default_stream_hops"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := tc.j.Spec()
+			if err == nil {
+				t.Fatalf("SpecJSON %+v should be rejected", tc.j)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q should name field %q", err, tc.want)
+			}
+		})
 	}
 }

@@ -1,0 +1,34 @@
+package eval
+
+import (
+	"runtime"
+	"sort"
+)
+
+// BenchMeta is the host-context stamp every committed BENCH_*.json record
+// carries: the parallelism the measurements ran under and the workload set
+// they covered. A shared stamp keeps records from different harnesses
+// comparable — a worker ladder recorded on a single-core host or a report
+// that silently dropped a workload is visible from the committed file
+// alone.
+type BenchMeta struct {
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Workloads  []string `json:"workloads"`
+}
+
+// NewBenchMeta stamps the current host and the given workload names,
+// deduplicated and sorted so the committed record is independent of
+// measurement order.
+func NewBenchMeta(workloads ...string) BenchMeta {
+	seen := make(map[string]bool, len(workloads))
+	var names []string
+	for _, w := range workloads {
+		if w == "" || seen[w] {
+			continue
+		}
+		seen[w] = true
+		names = append(names, w)
+	}
+	sort.Strings(names)
+	return BenchMeta{GOMAXPROCS: runtime.GOMAXPROCS(0), Workloads: names}
+}

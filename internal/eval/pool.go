@@ -1,59 +1,11 @@
 package eval
 
-import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-)
+import "sara/internal/sweep"
 
-// forEachIndexed runs fn(0..n-1) across a bounded worker pool — the shape of
-// internal/server's request pool: a fixed set of workers draining a shared
-// queue — and returns the failed call with the lowest index, if any. Callers
-// write results into index-addressed slots, so sweep output is deterministic
-// regardless of goroutine scheduling. Once a call fails, no new indices are
-// issued; in-flight calls finish.
+// forEachIndexed runs fn(0..n-1) across a bounded worker pool (GOMAXPROCS
+// workers); see sweep.ForEachIndexed. Callers write results into
+// index-addressed slots, so sweep output is deterministic regardless of
+// goroutine scheduling.
 func forEachIndexed(n int, fn func(i int) error) error {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	var (
-		next   atomic.Int64
-		failed atomic.Bool
-		mu     sync.Mutex
-		errIdx = n
-		first  error
-		wg     sync.WaitGroup
-	)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n || failed.Load() {
-					return
-				}
-				if err := fn(i); err != nil {
-					failed.Store(true)
-					mu.Lock()
-					if i < errIdx {
-						errIdx = i
-						first = err
-					}
-					mu.Unlock()
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	return first
+	return sweep.ForEachIndexed(n, 0, fn)
 }

@@ -56,10 +56,10 @@ type ServeMixRow struct {
 
 // ServeBenchReport is the BENCH_serve.json document.
 type ServeBenchReport struct {
-	Nodes      int           `json:"nodes"`
-	Clients    int           `json:"clients"`
-	GOMAXPROCS int           `json:"gomaxprocs"`
-	Rows       []ServeMixRow `json:"rows"`
+	Meta    BenchMeta     `json:"meta"`
+	Nodes   int           `json:"nodes"`
+	Clients int           `json:"clients"`
+	Rows    []ServeMixRow `json:"rows"`
 }
 
 // serveMix is one named request sequence. Warm requests are issued
@@ -190,8 +190,18 @@ func ServeBench(opts ServeBenchOptions) (*ServeBenchReport, error) {
 		return resp.StatusCode, nil
 	}
 
-	report := &ServeBenchReport{Nodes: opts.Nodes, Clients: opts.Clients, GOMAXPROCS: runtime.GOMAXPROCS(0)}
-	for _, mix := range buildServeMixes(opts.Smoke) {
+	mixes := buildServeMixes(opts.Smoke)
+	var mixWorkloads []string
+	for _, mix := range mixes {
+		for _, r := range mix.warm {
+			mixWorkloads = append(mixWorkloads, r.Workload)
+		}
+		for _, r := range mix.timed {
+			mixWorkloads = append(mixWorkloads, r.Workload)
+		}
+	}
+	report := &ServeBenchReport{Meta: NewBenchMeta(mixWorkloads...), Nodes: opts.Nodes, Clients: opts.Clients}
+	for _, mix := range mixes {
 		for i, w := range mix.warm {
 			if code, err := post(i, w); err != nil || code != http.StatusOK {
 				return nil, fmt.Errorf("%s: warm request %d failed (status %d, err %v)", mix.name, i, code, err)

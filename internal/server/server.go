@@ -80,6 +80,10 @@ type Options struct {
 	// VirtualNodes is the per-member point count on the hash ring (default
 	// DefaultVirtualNodes = 128).
 	VirtualNodes int
+
+	// TuneMaxPoints caps the design-space size a single tune request may
+	// enumerate (default 512). A request's own max_points can only lower it.
+	TuneMaxPoints int
 }
 
 func (o Options) withDefaults() Options {
@@ -108,6 +112,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.VirtualNodes <= 0 {
 		o.VirtualNodes = DefaultVirtualNodes
+	}
+	if o.TuneMaxPoints <= 0 {
+		o.TuneMaxPoints = 512
 	}
 	return o
 }
@@ -323,6 +330,14 @@ type RunRequest struct {
 	// Profiling does not perturb the simulation, and the compiled design is
 	// cached under the same key either way.
 	Profile bool `json:"profile,omitempty"`
+	// Tune turns the request into a design-space autotuner search over the
+	// named workload: the response is the full tune result (Pareto front,
+	// per-point statuses, baseline) instead of a single run. Candidate
+	// compiles flow through the same cache/store/cluster hierarchy as
+	// ordinary requests. /v1/run only; Workload requests only; incompatible
+	// with Engine overrides (finalists always validate on the event engine)
+	// and Profile (every point already carries bottleneck attribution).
+	Tune *TuneParamsJSON `json:"tune,omitempty"`
 	// TimeoutMS bounds this request, capped at the server default.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
 }
@@ -346,6 +361,24 @@ type CompileOptionsJSON struct {
 	NoBanking          bool `json:"no_banking,omitempty"`
 	NoMerging          bool `json:"no_merging,omitempty"`
 	NoCreditRelaxation bool `json:"no_credit_relaxation,omitempty"`
+	// Opt, when present, sets the §III-C optimization flags exactly (taking
+	// precedence over NoOpt). The autotuner's candidate requests use this to
+	// pin each point's opt set; absent means the default full suite.
+	Opt *OptTogglesJSON `json:"opt,omitempty"`
+}
+
+// OptTogglesJSON is the wire form of the individual optimization flags.
+// Unset flags are off — send every flag you want enabled.
+type OptTogglesJSON struct {
+	MSR       bool `json:"msr,omitempty"`
+	RtElm     bool `json:"rt_elm,omitempty"`
+	Retime    bool `json:"retime,omitempty"`
+	RetimeMem bool `json:"retime_mem,omitempty"`
+	XbarElm   bool `json:"xbar_elm,omitempty"`
+}
+
+func (t *OptTogglesJSON) options() opt.Options {
+	return opt.Options{MSR: t.MSR, RtElm: t.RtElm, Retime: t.Retime, RetimeMem: t.RetimeMem, XbarElm: t.XbarElm}
 }
 
 func (o *CompileOptionsJSON) config(spec *arch.Spec) core.Config {
@@ -356,6 +389,9 @@ func (o *CompileOptionsJSON) config(spec *arch.Spec) core.Config {
 	}
 	if o.NoOpt {
 		cfg.Opt = opt.None()
+	}
+	if o.Opt != nil {
+		cfg.Opt = o.Opt.options()
 	}
 	if o.Solver {
 		gap := o.SolverGap
@@ -514,6 +550,16 @@ func (s *Server) normalize(req *RunRequest) error {
 	if req.Profile && req.Engine == "analytic" {
 		return errors.New("profiling needs a cycle-level engine; the analytic model has no timeline")
 	}
+	if req.Tune != nil {
+		switch {
+		case req.Program != nil:
+			return errors.New("tune requests name a registered workload; inline programs are not tunable")
+		case req.Profile:
+			return errors.New("tune requests cannot set profile: every point already carries bottleneck attribution")
+		case req.Engine != "auto" && req.Engine != "cycle":
+			return fmt.Errorf("tune requests cannot pick engine %q: candidates are pruned analytically and finalists validate on the event engine", req.Engine)
+		}
+	}
 	return nil
 }
 
@@ -595,6 +641,14 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 func (s *Server) serve(w http.ResponseWriter, r *http.Request, simulate bool) {
 	req, ok := s.decodeRequest(w, r)
 	if !ok {
+		return
+	}
+	if req.Tune != nil {
+		if !simulate {
+			writeError(w, http.StatusBadRequest, errors.New("tune requests go to /v1/run: a search validates candidates by simulating them"))
+			return
+		}
+		s.serveTune(w, r, req)
 		return
 	}
 	spec, err := specFor(req)

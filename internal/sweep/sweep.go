@@ -1,0 +1,64 @@
+// Package sweep provides the deterministic fan-out primitive shared by the
+// eval harness and the autotuner: a bounded worker pool over an index
+// range, with results landing in index-addressed slots so sweep output is
+// identical at any worker count.
+package sweep
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEachIndexed runs fn(0..n-1) across a bounded worker pool — the shape
+// of internal/server's request pool: a fixed set of workers draining a
+// shared queue — and returns the failed call with the lowest index, if any.
+// workers bounds concurrency; zero or negative means GOMAXPROCS. Once a
+// call fails, no new indices are issued; in-flight calls finish.
+func ForEachIndexed(n, workers int, fn func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		mu     sync.Mutex
+		errIdx = n
+		first  error
+		wg     sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					failed.Store(true)
+					mu.Lock()
+					if i < errIdx {
+						errIdx = i
+						first = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}
